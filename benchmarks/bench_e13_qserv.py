@@ -1,0 +1,137 @@
+"""E13 — §IV-B: Qserv distributed dispatch over the Scalla file abstraction.
+
+Paper claims reproduced here:
+
+* masters reach "a worker hosting that particular partition" purely by
+  opening partition paths — no worker configuration exists, and the first
+  query to each chunk pays one Scalla locate that later queries reuse;
+* scatter/gather scales: a full-catalog query's latency tracks the slowest
+  chunk, not the chunk count (shared-nothing parallelism);
+* "simplifies fault-tolerance, replication, and load balancing": with a
+  worker down, re-dispatch through Scalla's mapping completes the query at
+  one extra locate's cost.
+"""
+
+import random
+
+from repro.cluster import ScallaCluster, ScallaConfig
+from repro.qserv import (
+    Query,
+    QservMaster,
+    QservWorker,
+    SkyPartitioner,
+    make_catalog_chunk,
+)
+
+from reporting import record, ms
+
+
+def build(n_workers=8, ra=8, dec=4, rows=200, copies=2, seed=131):
+    cluster = ScallaCluster(
+        n_workers,
+        config=ScallaConfig(
+            seed=seed,
+            exports=("/qserv",),
+            heartbeat_interval=0.2,
+            disconnect_timeout=0.7,
+        ),
+    )
+    part = SkyPartitioner(ra_stripes=ra, dec_stripes=dec)
+    rng = random.Random(1)
+    workers = {}
+    for i, p in enumerate(part.all_chunks()):
+        table = make_catalog_chunk(p, partitioner=part, rows=rows, rng=rng, id_base=p * 10_000)
+        for c in range(copies):
+            server = cluster.servers[(i + c) % n_workers]
+            if server not in workers:
+                workers[server] = QservWorker(cluster.node(server))
+            workers[server].host_chunk(p, table, cnsd=cluster.cnsd)
+    cluster.settle()
+    master = QservMaster(cluster.client("qserv-master"))
+    return cluster, part, master, workers
+
+
+def test_query_latency_tracks_slowest_chunk_not_count(benchmark):
+    def run():
+        rows = []
+        for n_chunks in (1, 4, 16, 32):
+            cluster, part, master, _w = build()
+            chunks = part.all_chunks()[:n_chunks]
+            outcome = cluster.run_process(
+                master.run_query(Query(kind="count"), chunks), limit=240
+            )
+            slowest = max(outcome.per_chunk_latency.values())
+            rows.append((n_chunks, outcome.duration, slowest))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "E13",
+        "distributed query latency vs chunk count (scatter/gather)",
+        ["chunks", "query latency", "slowest chunk"],
+        [(n, ms(d), ms(s)) for n, d, s in rows],
+        notes="Latency is pinned to the slowest chunk; 32 chunks cost ~1 chunk's time.",
+    )
+    one_chunk = rows[0][1]
+    all_chunks = rows[-1][1]
+    # 32x the work, far less than 32x the time (demand < 4x).
+    assert all_chunks < one_chunk * 4
+    for _n, duration, slowest in rows:
+        assert duration < slowest * 3
+
+
+def test_channel_discovery_amortized(benchmark):
+    """First touch of a chunk pays a Scalla locate; repeats are direct."""
+
+    def run():
+        cluster, part, master, _w = build()
+        chunks = part.all_chunks()[:8]
+        first = cluster.run_process(
+            master.run_query(Query(kind="count"), chunks), limit=240
+        )
+        locates_after_first = master.client.stats.locates
+        second = cluster.run_process(
+            master.run_query(Query(kind="count"), chunks), limit=240
+        )
+        return first.duration, second.duration, locates_after_first, master.client.stats.locates
+
+    d1, d2, loc1, loc2 = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert loc2 == loc1  # zero new locates on the repeat query
+    assert d2 <= d1
+    record(
+        "E13-channels",
+        "channel discovery is one-time (8 chunks)",
+        ["query", "latency", "cumulative locates"],
+        [("first (cold channels)", ms(d1), loc1), ("second (cached channels)", ms(d2), loc2)],
+        notes="'Scalla guarantees a communications channel' — looked up once, reused after.",
+    )
+
+
+def test_worker_loss_costs_one_redispatch(benchmark):
+    def run():
+        cluster, part, master, _w = build()
+        healthy = cluster.run_process(
+            master.run_query(Query(kind="count"), [0]), limit=240
+        )
+        victim = master.channels[0]
+        cluster.node(victim).crash()
+        cluster.settle(1.0)
+        recovered = cluster.run_process(
+            master.run_query(Query(kind="count"), [0]), limit=600
+        )
+        return healthy, recovered, victim, master.channels[0]
+
+    healthy, recovered, victim, replacement = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert recovered.result.count == healthy.result.count
+    assert replacement != victim
+    assert recovered.redispatches == 1
+    record(
+        "E13-failover",
+        "worker loss mid-campaign: re-dispatch through Scalla's mapping",
+        ["phase", "latency", "count", "re-dispatches"],
+        [
+            ("healthy", ms(healthy.duration), healthy.result.count, 0),
+            (f"after {victim} crash", ms(recovered.duration), recovered.result.count, recovered.redispatches),
+        ],
+        notes="No worker list anywhere: the replica was found by re-opening the chunk path.",
+    )

@@ -1,0 +1,114 @@
+"""E1 — §II-B5: redirection latency, cached vs uncached, per tree level.
+
+Paper claims reproduced here (simulated time; latency parameters set to the
+paper's hardware: 10 µs per LAN hop, 5 µs manager CPU per message, 80 µs
+server-side query handling so a query round trip is ~100 µs):
+
+* "requests for files whose information has been cached require less than
+  50us per tree level";
+* "requests for unknown files incur an additional latency equal to the time
+  it takes a leaf node to respond; increasing the redirection time to about
+  150us".
+
+We measure the *locate* portion (first request to final redirect, excluding
+the data-plane open) for cold and warm caches at tree depths 1..3.
+"""
+
+from repro.cluster import ScallaCluster, ScallaConfig
+from repro.core.models import PaperClaims
+
+from reporting import record, us
+
+CLAIMS = PaperClaims()
+
+
+def locate_latency(cluster, path):
+    """Time one locate (resolution only, no open) through the cluster."""
+    client = cluster.client()
+    t0 = cluster.sim.now
+
+    def probe():
+        yield from client.locate(path)
+        return cluster.sim.now - t0
+
+    return cluster.run_process(probe(), limit=60)
+
+
+def run_depth(n, fanout, seed=51):
+    cluster = ScallaCluster(n, config=ScallaConfig(seed=seed, fanout=fanout))
+    cluster.populate(["/store/probe.root"], size=64)
+    cluster.settle()
+    depth = cluster.topology.depth()
+    cold = locate_latency(cluster, "/store/probe.root")
+    warm = locate_latency(cluster, "/store/probe.root")
+    return depth, cold, warm
+
+
+def test_cached_latency_under_50us_per_level(benchmark):
+    def run():
+        return [run_depth(4, 64), run_depth(16, 4), run_depth(8, 2)]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for depth, cold, warm in results:
+        per_level = warm / depth
+        rows.append((depth, us(cold), us(warm), us(per_level)))
+        assert per_level < CLAIMS.cached_latency_per_level, (
+            f"depth {depth}: cached {per_level * 1e6:.1f}us/level >= 50us"
+        )
+    record(
+        "E1",
+        "locate latency: cold vs warm cache by tree depth",
+        ["tree depth", "cold locate", "warm locate", "warm per level"],
+        rows,
+        notes=(
+            "Paper: <50us per level cached, ~150us uncached. "
+            "Parameters: 10us/hop wire, 5us manager CPU, 80us server query handling."
+        ),
+    )
+
+
+def test_uncached_latency_near_150us(benchmark):
+    """Cold locate at depth 1 = cached cost + one leaf query round trip."""
+
+    def run():
+        return run_depth(64, 64)
+
+    depth, cold, warm = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert depth == 1
+    # ~150 us claim: accept the band the paper's "depending on the network
+    # speed" hedges — 100..250 us.
+    assert 100e-6 <= cold <= 250e-6, f"cold locate {cold * 1e6:.1f}us outside paper band"
+    extra = cold - warm
+    # The uncached premium is about one server response time (~100 us).
+    assert 0.5 * CLAIMS.server_response_time <= extra <= 2.0 * CLAIMS.server_response_time
+    record(
+        "E1-uncached",
+        "uncached premium = leaf response time (64-server flat cluster)",
+        ["cold locate", "warm locate", "uncached premium", "paper's server response"],
+        [(us(cold), us(warm), us(extra), us(CLAIMS.server_response_time))],
+    )
+
+
+def test_latency_additive_in_depth(benchmark):
+    """Warm locate grows linearly with depth — no superlinear term."""
+
+    def run():
+        return [run_depth(4, 64), run_depth(16, 4), run_depth(8, 2), run_depth(16, 2)]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_depth = {d: w for d, _c, w in results}
+    increments = [
+        by_depth[d + 1] - by_depth[d] for d in sorted(by_depth) if d + 1 in by_depth
+    ]
+    rows = [(d, us(by_depth[d])) for d in sorted(by_depth)]
+    record(
+        "E1-depth",
+        "warm locate latency vs depth (additive per level)",
+        ["depth", "warm locate"],
+        rows,
+    )
+    for inc in increments:
+        assert 0 < inc < CLAIMS.cached_latency_per_level
+    # Increments are roughly equal: linear in depth.
+    assert max(increments) < min(increments) * 2.5

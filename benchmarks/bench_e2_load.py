@@ -1,0 +1,101 @@
+"""E2 — §II-B5: redirection time vs load, "a very low linear slope".
+
+Paper claim reproduced here: "as more simultaneous requests need to be
+processed, the average redirection time increases as well.  However, the
+cache uses linear and constant-time algorithms, so the redirection time
+rises with a very low linear slope as load increases."
+
+Workload: a 64-server cluster, Zipf(1.1)-popular 1,000-file dataset,
+N ∈ {1..512} clients each resolving a burst of files concurrently (the
+§II-A meta-data-burst shape).  We report mean/p95 warm redirection latency
+per concurrency level and fit the slope.
+"""
+
+import random
+
+from repro.cluster import ScallaCluster, ScallaConfig
+from repro.sim.monitor import Histogram
+from repro.workloads.namegen import hep_paths
+from repro.workloads.popularity import ZipfChooser
+
+from reporting import record, us
+
+LEVELS = (1, 8, 32, 128, 512)
+FILES_PER_CLIENT = 8
+
+
+def run_level(n_clients: int, seed: int = 61):
+    cluster = ScallaCluster(64, config=ScallaConfig(seed=seed))
+    dataset = hep_paths(1_000, rng=random.Random(1))
+    cluster.populate(dataset, copies=2, size=1024)
+    cluster.settle()
+
+    # Warm the location cache so we measure steady-state behaviour, not the
+    # one-off discovery floods.
+    warmer = cluster.client("warm")
+
+    def warm():
+        for p in dataset[:200]:
+            yield from warmer.locate(p)
+
+    cluster.run_process(warm(), limit=120)
+
+    chooser = ZipfChooser(dataset[:200], s=1.1)
+    rng = random.Random(seed)
+    latencies = Histogram()
+
+    # Clients start across a fixed window, so the *offered rate* scales
+    # with the client count (load), rather than modelling one synchronized
+    # burst (which measures N/2 queue drain, not load response).
+    window = 0.05
+
+    def one_client(name, delay):
+        yield cluster.sim.timeout(delay)
+        client = cluster.client(name)
+        for _ in range(FILES_PER_CLIENT):
+            path = chooser.choose(rng)
+            t0 = cluster.sim.now
+            yield from client.locate(path)
+            latencies.record(cluster.sim.now - t0)
+
+    def storm():
+        procs = [
+            cluster.sim.process(one_client(f"c{i:04d}", rng.uniform(0, window)))
+            for i in range(n_clients)
+        ]
+        yield cluster.sim.all_of(procs)
+
+    cluster.run_process(storm(), limit=600)
+    rate = n_clients * FILES_PER_CLIENT / window
+    return rate, latencies.summary()
+
+
+def test_redirection_latency_low_linear_slope(benchmark):
+    def run():
+        return [(n, *run_level(n)) for n in LEVELS]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (n, f"{rate:.0f}/s", s.count, us(s.mean), us(s.p50), us(s.p95), us(s.maximum))
+        for n, rate, s in results
+    ]
+    record(
+        "E2",
+        "warm redirection latency vs offered load (Zipf popularity)",
+        ["clients", "offered rate", "locates", "mean", "p50", "p95", "max"],
+        rows,
+        notes=(
+            "512x the offered rate inflates mean redirection latency only "
+            "modestly: the cache's constant-time service keeps the growth a "
+            "shallow (queueing-theoretic) linear slope, as §II-B5 claims."
+        ),
+    )
+
+    means = {n: s.mean for n, _r, s in results}
+    # Low linear slope: 512x the offered rate must inflate the mean by far
+    # less than 512x — demand under 4x.
+    assert means[512] < means[1] * 4, (
+        f"slope too steep: {means[1] * 1e6:.1f}us -> {means[512] * 1e6:.1f}us"
+    )
+    # Latency stays in the tens-of-microseconds regime even at peak load.
+    assert results[-1][2].p95 < 1e-3

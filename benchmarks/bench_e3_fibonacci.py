@@ -1,0 +1,127 @@
+"""E3 — footnote 4: CRC32 mod Fibonacci vs power-of-two tables (ablation).
+
+Paper claim: "Despite the uniform distribution of CRC32, we found much
+higher collision rates with power-of-two sized tables compared to
+Fibonacci-sized."
+
+Reproduction finding (the honest version, recorded in EXPERIMENTS.md):
+
+* with zlib's true CRC32 the claim does NOT reproduce — CRC32's low bits
+  are well mixed and the power-of-two table performs on par;
+* the claim reproduces dramatically once the hash has correlated low bits,
+  which classic accumulate-style string hashes (the lineage of the era's
+  production hash functions) do on names sharing a constant ``.root``
+  suffix;
+* the Fibonacci modulus is the robust choice: it is within noise of ideal
+  for *every* hash tried, i.e. it makes the table insensitive to hash
+  quality — which is the engineering property that mattered.
+
+Cost metric: expected probes per successful lookup = sum(chain^2)/n.
+"""
+
+from collections import Counter
+
+from repro.core.crc32 import hash_name as crc32
+from repro.core.hashes import java31, sdbm, shift_add
+from repro.workloads.namegen import hep_paths, sequential_paths
+
+from reporting import record
+
+import random
+
+N = 20_000
+FIB_SIZE = 28657  # Fibonacci ~= N/0.7
+POW2_SIZE = 32768  # 2^15, the neighbouring power of two
+
+
+def chain_cost(hashes, modulus, *, pow2):
+    chains = Counter((h & (modulus - 1)) if pow2 else (h % modulus) for h in hashes)
+    return sum(l * l for l in chains.values()) / len(hashes)
+
+
+def max_chain(hashes, modulus, *, pow2):
+    chains = Counter((h & (modulus - 1)) if pow2 else (h % modulus) for h in hashes)
+    return max(chains.values())
+
+
+HASHES = [("crc32", crc32), ("java31", java31), ("sdbm", sdbm), ("shift_add", shift_add)]
+FAMILIES = [
+    ("sequential", sequential_paths(N)),
+    ("hep", hep_paths(N, rng=random.Random(3), runs=100_000)),
+]
+
+
+def test_collision_sweep(benchmark):
+    def run():
+        rows = []
+        for fam_name, paths in FAMILIES:
+            for hname, fn in HASHES:
+                hs = [fn(p) for p in paths]
+                fib = chain_cost(hs, FIB_SIZE, pow2=False)
+                p2 = chain_cost(hs, POW2_SIZE, pow2=True)
+                rows.append(
+                    (
+                        fam_name,
+                        hname,
+                        f"{fib:.2f}",
+                        f"{p2:.2f}",
+                        f"{p2 / fib:.1f}x",
+                        max_chain(hs, FIB_SIZE, pow2=False),
+                        max_chain(hs, POW2_SIZE, pow2=True),
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "E3",
+        "expected probes per lookup: Fibonacci vs power-of-two, by hash",
+        ["names", "hash", "fib cost", "pow2 cost", "pow2/fib", "fib max chain", "pow2 max chain"],
+        rows,
+        notes=(
+            "Footnote 4 reproduces for low-bit-correlated hashes (sdbm, "
+            "shift_add: pow2 collapses, Fibonacci stays ideal) but NOT for "
+            "zlib CRC32, whose low bits are already uniform.  Fibonacci "
+            "sizing is the hash-robust choice."
+        ),
+    )
+
+    by = {(r[0], r[1]): float(r[4][:-1]) for r in rows}
+    # The paper's claim, on the hash family where it holds:
+    assert by[("sequential", "sdbm")] > 2.0
+    assert by[("sequential", "shift_add")] > 20.0
+    # The negative result: with true CRC32 pow2 is within 15% of Fibonacci.
+    assert by[("sequential", "crc32")] < 1.15
+    assert by[("hep", "crc32")] < 1.15
+
+
+def test_fibonacci_near_ideal_for_all_hashes(benchmark):
+    """Fibonacci cost ~ ideal (1 + load) for every hash and family."""
+
+    def run():
+        load = N / FIB_SIZE
+        ideal = 1 + load
+        worst = 0.0
+        for _fam, paths in FAMILIES:
+            # shift_add excluded: it maps many *names* to one 32-bit value
+            # outright, which no table sizing can repair (its Fibonacci max
+            # chain in the sweep above equals its hash-collision count).
+            for _hname, fn in HASHES:
+                if fn is shift_add:
+                    continue
+                hs = [fn(p) for p in paths]
+                worst = max(worst, chain_cost(hs, FIB_SIZE, pow2=False) / ideal)
+        return worst, ideal
+
+    worst, ideal = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert worst < 1.25, f"Fibonacci cost {worst:.2f}x ideal"
+    record(
+        "E3-ideal",
+        "Fibonacci table vs ideal random hashing (injective-ish hashes)",
+        ["ideal cost (1+load)", "worst observed / ideal"],
+        [(f"{ideal:.2f}", f"{worst:.2f}x")],
+        notes=(
+            "Excludes shift_add, whose 32-bit outputs themselves collide "
+            "(identical hash values) — unfixable by any modulus."
+        ),
+    )

@@ -1,0 +1,87 @@
+"""E7 — §III-B: request-rarely-respond message efficiency.
+
+Paper claim reproduced here: the non-response-as-negative protocol "is
+provably the most efficient way of maintaining location information in the
+event that less than half the servers have the file".
+
+Two measurements:
+
+* the closed-form sweep: messages per resolution vs holder fraction for
+  rarely-respond (n + h·n) and always-respond (2n), with the savings
+  margin at the paper's <50% criterion;
+* a measured sweep on the simulated cluster: populate a file on k of 16
+  servers, flood once, count actual control-plane messages — they must
+  match the closed form exactly.
+"""
+
+from repro.baselines.always_respond import always_respond_messages, rarely_respond_messages
+from repro.cluster import ScallaCluster, ScallaConfig
+
+from reporting import record
+
+N = 64
+
+
+def test_closed_form_sweep(benchmark):
+    def run():
+        rows = []
+        for holders in (0, 1, 4, 16, 32, 48, 64):
+            rare = rarely_respond_messages(N, holders)
+            always = always_respond_messages(N, holders)
+            saving = (always.total - rare.total) / always.total
+            rows.append(
+                (f"{holders}/{N}", rare.total, always.total, f"{saving:.0%}")
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "E7",
+        "messages per resolution: rarely-respond vs always-respond (64 servers)",
+        ["holders", "rarely-respond", "always-respond", "saving"],
+        rows,
+        notes=(
+            "Saving >= 25% whenever fewer than half the servers hold the "
+            "file (the paper's criterion); the designs only meet at 100% "
+            "replication."
+        ),
+    )
+    # The paper's criterion, asserted over the whole <1/2 range:
+    for holders in range(N // 2):
+        rare = rarely_respond_messages(N, holders).total
+        always = always_respond_messages(N, holders).total
+        assert (always - rare) / always >= 0.25
+
+
+def test_measured_messages_match_model(benchmark):
+    """Count real control messages in the simulated cluster."""
+
+    def run():
+        rows = []
+        n = 16
+        for holders in (1, 4, 8, 15):
+            cluster = ScallaCluster(n, config=ScallaConfig(seed=73))
+            for s in cluster.servers[:holders]:
+                cluster.place("/store/probe.root", s, size=64)
+            cluster.settle()
+            mgr = cluster.manager_cmsd()
+            q0, h0 = mgr.stats.queries_sent, mgr.stats.haves_received
+            cluster.run_process(cluster.client().locate("/store/probe.root"), limit=60)
+            cluster.settle(0.01)  # let the stragglers' responses land
+            queries = mgr.stats.queries_sent - q0
+            responses = mgr.stats.haves_received - h0
+            model = rarely_respond_messages(n, holders)
+            rows.append((f"{holders}/{n}", queries, responses, model.queries, model.responses))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for label, q, r, mq, mr in rows:
+        assert q == mq, f"{label}: {q} queries != model {mq}"
+        assert r == mr, f"{label}: {r} responses != model {mr}"
+    record(
+        "E7-measured",
+        "measured control messages per cold resolution (16 servers)",
+        ["holders", "queries sent", "responses received", "model queries", "model responses"],
+        rows,
+        notes="Only holders answer; silence from the rest is the negative response.",
+    )

@@ -1,0 +1,64 @@
+"""E8 — §III-B2: parallel prepare amortizes the create/stage full delay.
+
+Paper claim reproduced here: "While each background look-up suffers a full
+delay; externally, at most a single full delay is encountered by the
+client" — versus one full delay *per file* for naive sequential creates.
+
+Sweep N (files per batch); measure wall time of the create batch with and
+without a preceding prepare.  Shape: without prepare the cost is ~N × 5 s;
+with prepare it is ~5 s flat.
+"""
+
+from repro.cluster import ScallaCluster, ScallaConfig
+
+from reporting import record
+
+BATCHES = (1, 4, 8, 16)
+FULL_DELAY = 5.0
+
+
+def run_batch(n_files: int, *, use_prepare: bool) -> float:
+    cluster = ScallaCluster(8, config=ScallaConfig(seed=81))
+    cluster.settle()
+    client = cluster.client()
+    paths = [f"/store/bulk/f{i}.root" for i in range(n_files)]
+
+    def scenario():
+        t0 = cluster.sim.now
+        if use_prepare:
+            yield from client.prepare(paths)
+        for p in paths:
+            res = yield from client.open(p, mode="w", create=True)
+            yield from client.close(res)
+        return cluster.sim.now - t0
+
+    return cluster.run_process(scenario(), limit=3600)
+
+
+def test_prepare_amortizes_creates(benchmark):
+    def run():
+        rows = []
+        for n in BATCHES:
+            naive = run_batch(n, use_prepare=False)
+            prepared = run_batch(n, use_prepare=True)
+            rows.append((n, naive, prepared, naive / prepared))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for n, naive, prepared, _speedup in rows:
+        # Naive pays one full delay per file...
+        assert naive >= n * FULL_DELAY
+        # ...prepared pays a single full delay, plus protocol epsilon.
+        assert prepared < 2 * FULL_DELAY, f"N={n}: prepared batch took {prepared:.1f}s"
+    # The speedup grows ~linearly in batch size.
+    assert rows[-1][3] > rows[0][3] * (BATCHES[-1] / BATCHES[0]) * 0.5
+    record(
+        "E8",
+        "bulk file creation: sequential full delays vs parallel prepare",
+        ["files", "naive (s)", "with prepare (s)", "speedup"],
+        [(n, f"{a:.2f}", f"{b:.2f}", f"{s:.1f}x") for n, a, b, s in rows],
+        notes=(
+            "Prepare floods all look-ups in the background; externally the "
+            "client sees at most one 5 s delay regardless of batch size."
+        ),
+    )

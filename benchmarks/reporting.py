@@ -1,0 +1,59 @@
+"""Shared reporting for the experiment benches.
+
+Every bench both *asserts* the paper's qualitative shape (so the suite
+fails if a regression breaks a reproduced result) and *records* the
+measured rows to ``benchmarks/results/<experiment>.md``, which is what
+EXPERIMENTS.md points at.  Tables are also echoed to stdout (visible with
+``pytest -s`` or in the benchmark run log).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _fmt_row(cells: Sequence[object], widths: list[int]) -> str:
+    return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+
+def record(
+    experiment: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    notes: str = "",
+) -> str:
+    """Render a result table, write it to the results dir, echo it."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"# {experiment}: {title}", ""]
+    lines.append(_fmt_row(headers, widths))
+    lines.append(_fmt_row(["-" * w for w in widths], widths))
+    for row in str_rows:
+        lines.append(_fmt_row(row, widths))
+    if notes:
+        lines.append("")
+        lines.append(notes)
+    text = "\n".join(lines) + "\n"
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / f"{experiment.lower()}.md"
+    out.write_text(text)
+    print("\n" + text)
+    return text
+
+
+def us(seconds: float) -> str:
+    """Format seconds as microseconds."""
+    return f"{seconds * 1e6:.1f}us"
+
+
+def ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f}ms"

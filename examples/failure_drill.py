@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Failure drill: recoverability, Scalla's third design objective.
+
+Walks a 16-server cluster through the paper's §III-A4 membership cases and
+the §V restart argument, printing what the manager believes at each step:
+
+1. a server disconnects       -> marked offline, still a member (case 1),
+2. it reconnects in time      -> same slot, interim caches corrected (case 3),
+3. another stays away         -> dropped, V_m scrubbed (case 2),
+4. the dropped one returns    -> fresh login, new connection epoch (case 4),
+5. the manager itself restarts -> state-less recovery from re-logins (§V).
+
+Run:  python examples/failure_drill.py
+"""
+
+from repro.cluster import ScallaCluster, ScallaConfig
+from repro.core import bitvec
+
+
+def describe(cluster, label):
+    mgr = cluster.manager_cmsd()
+    m = mgr.membership
+    print(f"  [{label}] members={bitvec.count(m.v_members)} "
+          f"online={bitvec.count(m.v_online)} offline={bitvec.count(m.v_offline)} "
+          f"N_c={m.n_c} cache_objects={mgr.cache.live_count()}")
+
+
+def main() -> None:
+    cluster = ScallaCluster(
+        16,
+        config=ScallaConfig(
+            seed=99,
+            heartbeat_interval=0.2,
+            disconnect_timeout=0.7,
+            drop_timeout=5.0,
+            relogin_timeout=0.5,
+            full_delay=1.0,
+        ),
+    )
+    files = [f"/store/drill/f{i}.root" for i in range(64)]
+    cluster.populate(files, copies=2, size=4096)
+    cluster.settle()
+
+    client = cluster.client()
+    for f in files[:16]:  # warm the location cache
+        cluster.run_process(client.open(f))
+    print("cluster warm:")
+    describe(cluster, "t=%.1fs" % cluster.sim.now)
+
+    # -- case 1: transient disconnect ---------------------------------------
+    flaky = cluster.servers[0]
+    print(f"\n1) {flaky} loses power (transient)")
+    cluster.node(flaky).crash()
+    cluster.run(until=cluster.sim.now + 2.0)
+    describe(cluster, "disconnected")
+
+    # Reads keep working: offline holders are shifted to V_q at fetch and
+    # the replica serves.
+    res = cluster.run_process(cluster.client().open(files[0]), limit=60)
+    print(f"   open {files[0]} still works -> {res.node} "
+          f"({res.latency * 1e3:.2f} ms)")
+
+    # -- case 3: reconnect before the drop timer ------------------------------
+    print(f"\n2) {flaky} comes back within the drop window")
+    cluster.node(flaky).restart()
+    cluster.run(until=cluster.sim.now + 1.0)
+    describe(cluster, "reconnected")
+
+    # -- case 2: a server stays away past drop_timeout ------------------------
+    gone = cluster.servers[1]
+    print(f"\n3) {gone} fails hard and stays away")
+    cluster.node(gone).crash()
+    cluster.run(until=cluster.sim.now + 7.0)
+    mgr = cluster.manager_cmsd()
+    assert mgr.membership.slot_of(gone) is None
+    describe(cluster, "dropped")
+    print(f"   {gone} no longer eligible for /store: "
+          f"V_m={bitvec.count(mgr.membership.eligible('/store/x'))} servers")
+
+    # -- case 4: the dropped server returns ----------------------------------
+    print(f"\n4) {gone} is repaired and rejoins")
+    cluster.node(gone).restart()
+    cluster.run(until=cluster.sim.now + 1.0)
+    describe(cluster, "rejoined")
+
+    # -- §V: manager restart ---------------------------------------------------
+    print("\n5) the manager itself restarts (all in-memory state lost)")
+    t0 = cluster.sim.now
+    cluster.node(cluster.managers[0]).restart()
+    describe(cluster, "just restarted")
+    cluster.run(until=cluster.sim.now + 2.0)
+    describe(cluster, "rebuilt")
+    res = cluster.run_process(cluster.client().open(files[1]), limit=60)
+    print(f"   first file served {cluster.sim.now - t0:.2f} s after restart "
+          f"-> {res.node}  ('within seconds of restarting')")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The reproduction environment is fully offline; pip cannot fetch the `wheel`
+package that PEP-517 editable installs require, so we deliberately omit the
+[build-system] table and provide this setup.py to let `pip install -e .`
+take the legacy (setuptools develop) path.
+"""
+
+from setuptools import setup
+
+setup()

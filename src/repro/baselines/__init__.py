@@ -1,0 +1,40 @@
+"""Baselines the paper argues against, implemented so the benches can
+measure the comparison instead of asserting it.
+
+* :mod:`repro.baselines.pow2table` — power-of-two hash table (footnote 4).
+* :mod:`repro.baselines.central_master` — GFS-style full-manifest master (§V).
+* :mod:`repro.baselines.afs_volumedb` — AFS-style replicated volume DB (§V).
+* :mod:`repro.baselines.always_respond` — request-always-respond protocol.
+* :mod:`repro.baselines.naive_eviction` — eager re-chaining eviction (§III-C1).
+"""
+
+from repro.baselines.afs_volumedb import ReplicatedVolumeDB, VolumeDBReplica
+from repro.baselines.always_respond import (
+    MessageCount,
+    always_respond_messages,
+    crossover_fraction,
+    rarely_respond_messages,
+)
+from repro.baselines.central_master import (
+    MANIFEST_CHUNK_FILES,
+    CentralMaster,
+    ManifestChunk,
+    register_over_network,
+)
+from repro.baselines.naive_eviction import EagerWindows
+from repro.baselines.pow2table import Pow2Table
+
+__all__ = [
+    "Pow2Table",
+    "CentralMaster",
+    "ManifestChunk",
+    "register_over_network",
+    "MANIFEST_CHUNK_FILES",
+    "ReplicatedVolumeDB",
+    "VolumeDBReplica",
+    "MessageCount",
+    "rarely_respond_messages",
+    "always_respond_messages",
+    "crossover_fraction",
+    "EagerWindows",
+]

@@ -1,0 +1,85 @@
+"""AFS-style replicated volume location database — a §V comparator.
+
+"In the Andrew file system (AFS), Vice servers must each maintain a
+consistent replica of the volume location database, which must maintain
+locations for all volumes (regardless of actual use).  Changes are expected
+to be infrequent."
+
+The structural costs this module makes measurable:
+
+* every location change must be applied to **all** replicas (O(replicas)
+  messages per change, versus Scalla's zero — location is discovered, not
+  declared);
+* each replica stores the **entire** volume map regardless of what is
+  actually accessed (memory O(all volumes), versus Scalla's O(popular
+  files));
+* reads are cheap anywhere — the design's virtue, which we model honestly.
+
+Bench E12/E11 use it to contrast update amplification and state size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["VolumeDBReplica", "ReplicatedVolumeDB"]
+
+
+@dataclass
+class VolumeDBReplica:
+    """One server's full copy of the volume location database."""
+
+    name: str
+    volumes: dict[str, str] = field(default_factory=dict)  # volume -> server
+    applied_updates: int = 0
+
+    def apply(self, volume: str, server: str | None) -> None:
+        if server is None:
+            self.volumes.pop(volume, None)
+        else:
+            self.volumes[volume] = server
+        self.applied_updates += 1
+
+    def lookup(self, volume: str) -> str | None:
+        return self.volumes.get(volume)
+
+    def state_size(self) -> int:
+        """Entries stored — O(all volumes), used or not."""
+        return len(self.volumes)
+
+
+class ReplicatedVolumeDB:
+    """The full set of replicas plus the change-propagation ledger."""
+
+    def __init__(self, replica_names: list[str]) -> None:
+        if not replica_names:
+            raise ValueError("need at least one replica")
+        self.replicas = {n: VolumeDBReplica(n) for n in replica_names}
+        self.update_messages = 0
+
+    def set_volume(self, volume: str, server: str | None) -> int:
+        """Apply one change everywhere; returns messages generated.
+
+        This is the consistency bill AFS pays and Scalla dodged: every
+        mutation fans out to every replica.
+        """
+        for replica in self.replicas.values():
+            replica.apply(volume, server)
+        self.update_messages += len(self.replicas)
+        return len(self.replicas)
+
+    def lookup(self, volume: str, at_replica: str | None = None) -> str | None:
+        replica = (
+            self.replicas[at_replica]
+            if at_replica is not None
+            else next(iter(self.replicas.values()))
+        )
+        return replica.lookup(volume)
+
+    def total_state(self) -> int:
+        """Aggregate entries across replicas — the memory amplification."""
+        return sum(r.state_size() for r in self.replicas.values())
+
+    def consistent(self) -> bool:
+        maps = [r.volumes for r in self.replicas.values()]
+        return all(m == maps[0] for m in maps)

@@ -1,0 +1,68 @@
+"""Request-always-respond protocol model — the E7 baseline.
+
+Scalla's flooding protocol has servers answer **only when they hold the
+file**; reference [2] of the paper (Furano & Hanushevsky's passive-bid
+analysis) shows this is "provably the most efficient way of maintaining
+location information in the event that less than half the servers have the
+file".  The intuition is elementary counting, which this module makes
+executable:
+
+* rarely-respond:  ``queries + holders`` messages,
+* always-respond:  ``queries + n_servers`` messages (every server answers
+  yes *or no*).
+
+With ``h = holders / n``, rarely-respond sends ``n(1 + h)`` and
+always-respond ``2n``; rarely wins iff ``h < 1`` — strictly, it never
+loses, and its advantage is largest as ``h → 0`` (the common case: most
+files live on a handful of servers).  The latency cost is the 5 s
+conservative wait on *negative* results, which the fast response queue
+(E6) attacks separately.
+
+Bench E7 sweeps the holder fraction with both the closed forms below and a
+message-counted simulation on the real cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MessageCount", "rarely_respond_messages", "always_respond_messages", "crossover_fraction"]
+
+
+@dataclass(frozen=True)
+class MessageCount:
+    queries: int
+    responses: int
+
+    @property
+    def total(self) -> int:
+        return self.queries + self.responses
+
+
+def rarely_respond_messages(n_servers: int, holders: int) -> MessageCount:
+    """Scalla: every server is asked, only holders answer."""
+    _check(n_servers, holders)
+    return MessageCount(queries=n_servers, responses=holders)
+
+
+def always_respond_messages(n_servers: int, holders: int) -> MessageCount:
+    """Baseline: every server is asked and every server answers."""
+    _check(n_servers, holders)
+    return MessageCount(queries=n_servers, responses=n_servers)
+
+
+def crossover_fraction() -> float:
+    """Holder fraction at which always-respond would match rarely-respond.
+
+    n(1 + h) = 2n  ⇒  h = 1: rarely-respond is never worse, and the paper's
+    "less than half" criterion is where its advantage remains at least 25%
+    of total traffic.
+    """
+    return 1.0
+
+
+def _check(n_servers: int, holders: int) -> None:
+    if n_servers < 1:
+        raise ValueError("need at least one server")
+    if not 0 <= holders <= n_servers:
+        raise ValueError("holders must be within [0, n_servers]")

@@ -1,0 +1,74 @@
+"""Power-of-two-sized chained hash table — the E3 collision baseline.
+
+Footnote 4 of the paper: "Despite the uniform distribution of CRC32, we
+found much higher collision rates with power-of-two sized tables compared
+to Fibonacci-sized."  The mechanism: ``key % 2**k`` keeps only the low k
+bits of the CRC, and CRC32's low bits are *not* independent across related
+inputs (structured paths differing in a few characters), whereas a
+non-power modulus folds every bit of the key into the bucket index.
+
+This class mirrors :class:`repro.core.hashtable.LocationTable`'s interface
+(insert/find/chain_lengths, 80% growth trigger) so bench E3 can swap the
+two under identical workloads.
+"""
+
+from __future__ import annotations
+
+from repro.core.fibonacci import GROWTH_THRESHOLD
+from repro.core.location import LocationObject
+
+__all__ = ["Pow2Table"]
+
+
+class Pow2Table:
+    """Chained hash table sized 2^k, doubling at 80% occupancy."""
+
+    def __init__(self, initial_size: int = 128) -> None:
+        if initial_size < 1 or initial_size & (initial_size - 1):
+            raise ValueError(f"size {initial_size} is not a power of two")
+        self._buckets: list[list[LocationObject]] = [[] for _ in range(initial_size)]
+        self._size = initial_size
+        self._count = 0
+        self.resizes = 0
+        self.probes = 0
+        self.lookups = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def find(self, key: str, hash_val: int) -> LocationObject | None:
+        self.lookups += 1
+        bucket = self._buckets[hash_val & (self._size - 1)]
+        for pos, obj in enumerate(bucket):
+            if obj.matches(key, hash_val):
+                self.probes += pos + 1
+                return obj
+        self.probes += len(bucket)
+        return None
+
+    def insert(self, obj: LocationObject) -> None:
+        if self._count + 1 > self._size * GROWTH_THRESHOLD:
+            self._grow()
+        self._buckets[obj.hash_val & (self._size - 1)].append(obj)
+        self._count += 1
+
+    def chain_lengths(self) -> list[int]:
+        return [len(b) for b in self._buckets]
+
+    def mean_probe_length(self) -> float:
+        return self.probes / self.lookups if self.lookups else 0.0
+
+    def _grow(self) -> None:
+        new_size = self._size * 2
+        new_buckets: list[list[LocationObject]] = [[] for _ in range(new_size)]
+        for bucket in self._buckets:
+            for obj in bucket:
+                new_buckets[obj.hash_val & (new_size - 1)].append(obj)
+        self._buckets = new_buckets
+        self._size = new_size
+        self.resizes += 1

@@ -1,0 +1,348 @@
+"""The redirection-following Scalla client.
+
+Implements the client half of the protocol (§II-B2/B3 and §III-C1):
+
+* contact a manager (failing over among replicas), follow ``Redirect``
+  hops down through supervisors until a data server is reached, then open
+  there;
+* honour ``Wait`` verdicts by sleeping the indicated delay and retrying;
+* on a failed open ("the client is vectored to a server that, in fact,
+  cannot serve the requested file") reissue the locate with
+  ``refresh=True`` and the failing host in ``avoid`` — the paper's general
+  client recovery mechanism;
+* ``prepare()`` for bulk pre-location (§III-B2).
+
+All operations are generator coroutines to be driven by the simulator::
+
+    result = sim.run_until_process(sim.process(client.open("/store/x")))
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cluster import protocol as pr
+from repro.cluster.ids import Role, cmsd_host, xrootd_host
+from repro.core.response_queue import AccessMode
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+
+__all__ = [
+    "ClientConfig",
+    "ClientStats",
+    "OpenResult",
+    "ScallaError",
+    "NoSuchFile",
+    "FileExists",
+    "ClusterUnreachable",
+    "ScallaClient",
+]
+
+
+class ScallaError(Exception):
+    """Base class for client-visible failures."""
+
+
+class NoSuchFile(ScallaError):
+    """The cluster confirmed (after the full wait) the file exists nowhere."""
+
+
+class FileExists(ScallaError):
+    """Create failed: some server already holds the file."""
+
+
+class ClusterUnreachable(ScallaError):
+    """No manager replica answered within the failover budget."""
+
+
+@dataclass
+class ClientConfig:
+    #: Per-request response timeout before failing over to another manager.
+    locate_timeout: float = 2.0
+    #: Data-plane response timeout (server death detection).
+    op_timeout: float = 2.0
+    #: Redirect-hop budget per open (tree depth is <= 4 in practice).
+    max_hops: int = 16
+    #: Wait/retry budget per open.
+    max_retries: int = 10
+    #: Full manager failover cycles before giving up.
+    max_failover_cycles: int = 3
+
+
+@dataclass
+class ClientStats:
+    locates: int = 0
+    redirects: int = 0
+    waits: int = 0
+    refreshes: int = 0
+    failovers: int = 0
+    opens: int = 0
+
+
+@dataclass
+class OpenResult:
+    """A successfully opened file."""
+
+    path: str
+    node: str  # data-server node name
+    handle: int
+    size: int
+    latency: float  # first locate to OpenAck, in simulated seconds
+    redirects: int
+    waits: int
+
+
+class ScallaClient:
+    """One analysis client (one Root job, one Qserv master channel, ...)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        name: str,
+        managers: tuple[str, ...],
+        *,
+        config: ClientConfig | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not managers:
+            raise ValueError("need at least one manager")
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.managers = managers
+        self.config = config if config is not None else ClientConfig()
+        self.rng = rng if rng is not None else random.Random(0)
+        self.host = network.add_host(name)
+        self.stats = ClientStats()
+        self._next_req = 1
+        self._pending: dict[int, object] = {}
+        self._proc = sim.process(self._inbox_loop(), name=f"client:{name}")
+        self._manager_idx = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _inbox_loop(self):
+        while True:
+            env = yield self.host.inbox.get()
+            req_id = getattr(env.payload, "req_id", None)
+            ev = self._pending.pop(req_id, None)
+            if ev is not None and not ev.triggered:
+                ev.succeed(env.payload)
+
+    def _request(self, to_host: str, msg, timeout: float):
+        """Send *msg*, wait for its reply or *timeout*; returns reply or None."""
+        ev = self.sim.event()
+        self._pending[msg.req_id] = ev
+        self.network.send(self.host.name, to_host, msg, size=pr.estimate_size(msg))
+        yield self.sim.any_of([ev, self.sim.timeout(timeout)])
+        if ev.triggered:
+            return ev.value
+        self._pending.pop(msg.req_id, None)
+        return None
+
+    def _req_id(self) -> int:
+        rid = self._next_req
+        self._next_req += 1
+        return rid
+
+    def _current_manager_cmsd(self) -> str:
+        return cmsd_host(self.managers[self._manager_idx])
+
+    def _failover(self) -> None:
+        self._manager_idx = (self._manager_idx + 1) % len(self.managers)
+        self.stats.failovers += 1
+
+    # -- the protocol ---------------------------------------------------------
+
+    def locate(self, path: str, *, mode: str = AccessMode.READ, create: bool = False):
+        """Resolve *path* to a data-server node name (follows supervisors).
+
+        Generator; returns ``(node_name, pending)``.  Raises
+        :class:`NoSuchFile` / :class:`ClusterUnreachable`.
+        """
+        node, pending, _, _ = yield from self._locate_full(path, mode, create, False, ())
+        return node, pending
+
+    def _locate_full(self, path, mode, create, refresh, avoid):
+        contact = self._current_manager_cmsd()
+        at_manager = True
+        redirects = waits = 0
+        timeouts = 0
+        retries = 0
+        while True:
+            msg = pr.Locate(
+                req_id=self._req_id(),
+                reply_to=self.host.name,
+                path=path,
+                mode=mode,
+                create=create,
+                refresh=refresh and at_manager,
+                avoid=tuple(avoid),
+                client_site=self.network.site_of(self.host.name) or "",
+            )
+            self.stats.locates += 1
+            # A refresh is a one-shot directive: re-sending it on every
+            # Wait-retry would reset the query deadline each time and spin
+            # forever on a genuinely deleted file.
+            refresh = False
+            resp = yield from self._request(contact, msg, self.config.locate_timeout)
+            if resp is None:
+                timeouts += 1
+                if timeouts > self.config.max_failover_cycles * len(self.managers):
+                    raise ClusterUnreachable(f"no manager answered for {path!r}")
+                self._failover()
+                contact = self._current_manager_cmsd()
+                at_manager = True
+                continue
+            if isinstance(resp, pr.Redirect):
+                redirects += 1
+                self.stats.redirects += 1
+                if redirects > self.config.max_hops:
+                    raise ScallaError(f"redirect loop resolving {path!r}")
+                if resp.target_role == Role.SERVER.value:
+                    return resp.target, resp.pending, redirects, waits
+                # Interior node: re-issue the locate one level down.
+                contact = cmsd_host(resp.target)
+                at_manager = False
+                refresh = False
+                continue
+            if isinstance(resp, pr.Wait):
+                waits += 1
+                self.stats.waits += 1
+                retries += 1
+                if retries > self.config.max_retries:
+                    raise ScallaError(f"retry budget exhausted for {path!r}")
+                yield self.sim.timeout(resp.delay)
+                continue
+            if isinstance(resp, pr.NotFound):
+                if at_manager:
+                    raise NoSuchFile(path)
+                # A supervisor lost the file between our hops (timing edge,
+                # §III-C1): restart from the top with a refresh.
+                contact = self._current_manager_cmsd()
+                at_manager = True
+                refresh = True
+                continue
+            raise ScallaError(f"unexpected locate reply {resp!r}")
+
+    def open(self, path: str, *, mode: str = AccessMode.READ, create: bool = False):
+        """Open *path* somewhere in the cluster; returns :class:`OpenResult`.
+
+        Generator.  Handles the full recovery loop: servers that fail the
+        open get avoided and the locate is refreshed, per §III-C1.
+        """
+        start = self.sim.now
+        avoid: list[str] = []
+        refresh = False
+        total_redirects = total_waits = 0
+        for _attempt in range(self.config.max_retries):
+            node, pending, redirects, waits = yield from self._locate_full(
+                path, mode, create, refresh, tuple(avoid)
+            )
+            total_redirects += redirects
+            total_waits += waits
+            omsg = pr.Open(
+                req_id=self._req_id(),
+                reply_to=self.host.name,
+                path=path,
+                mode=mode,
+                create=create,
+            )
+            resp = yield from self._request(xrootd_host(node), omsg, self._open_timeout(pending))
+            if isinstance(resp, pr.OpenAck):
+                self.stats.opens += 1
+                return OpenResult(
+                    path=path,
+                    node=node,
+                    handle=resp.handle,
+                    size=resp.size,
+                    latency=self.sim.now - start,
+                    redirects=total_redirects,
+                    waits=total_waits,
+                )
+            if isinstance(resp, pr.OpenFail) and resp.reason == "exists":
+                raise FileExists(path)
+            # ENOENT, bad handle, or server death: general recovery — ask
+            # for a cache refresh and avoid the failing host.
+            self.stats.refreshes += 1
+            refresh = True
+            if node not in avoid:
+                avoid.append(node)
+        raise ScallaError(f"open retry budget exhausted for {path!r}")
+
+    def _open_timeout(self, pending: bool) -> float:
+        # A pending (staging) open legitimately takes minutes: wait long.
+        return 1e6 if pending else self.config.op_timeout
+
+    # -- data-plane convenience -----------------------------------------------------
+
+    def read(self, result: OpenResult, offset: int, length: int):
+        """Generator; returns the bytes read."""
+        msg = pr.Read(self._req_id(), self.host.name, result.handle, offset, length)
+        resp = yield from self._request(xrootd_host(result.node), msg, self.config.op_timeout)
+        if not isinstance(resp, pr.ReadAck):
+            raise ScallaError(f"read failed on {result.node}: {resp!r}")
+        return resp.data
+
+    def write(self, result: OpenResult, offset: int, data: bytes):
+        """Generator; returns bytes written."""
+        msg = pr.Write(self._req_id(), self.host.name, result.handle, offset, data)
+        resp = yield from self._request(xrootd_host(result.node), msg, self.config.op_timeout)
+        if not isinstance(resp, pr.WriteAck):
+            raise ScallaError(f"write failed on {result.node}: {resp!r}")
+        return resp.written
+
+    def close(self, result: OpenResult):
+        """Generator; returns None."""
+        msg = pr.Close(self._req_id(), self.host.name, result.handle)
+        resp = yield from self._request(xrootd_host(result.node), msg, self.config.op_timeout)
+        if not isinstance(resp, pr.CloseAck):
+            raise ScallaError(f"close failed on {result.node}: {resp!r}")
+
+    def stat(self, path: str):
+        """Generator; returns (exists, size) resolved through the cluster."""
+        try:
+            node, _pending = yield from self.locate(path)
+        except NoSuchFile:
+            return False, 0
+        msg = pr.Stat(self._req_id(), self.host.name, path)
+        resp = yield from self._request(xrootd_host(node), msg, self.config.op_timeout)
+        if not isinstance(resp, pr.StatAck):
+            raise ScallaError(f"stat failed on {node}: {resp!r}")
+        return resp.exists, resp.size
+
+    def remove(self, path: str):
+        """Generator; returns True when a copy was removed somewhere."""
+        try:
+            node, _pending = yield from self.locate(path)
+        except NoSuchFile:
+            return False
+        msg = pr.Remove(self._req_id(), self.host.name, path)
+        resp = yield from self._request(xrootd_host(node), msg, self.config.op_timeout)
+        return isinstance(resp, pr.RemoveAck) and resp.removed
+
+    def prepare(self, paths):
+        """Generator; schedules background look-ups for *paths* (§III-B2)."""
+        msg = pr.Prepare(self._req_id(), self.host.name, tuple(paths))
+        resp = yield from self._request(
+            self._current_manager_cmsd(), msg, self.config.locate_timeout
+        )
+        if not isinstance(resp, pr.PrepareAck):
+            raise ScallaError(f"prepare failed: {resp!r}")
+        return resp.scheduled
+
+    def fetch(self, path: str, *, chunk: int = 1 << 20):
+        """Generator; opens, reads the whole file, closes; returns bytes."""
+        result = yield from self.open(path)
+        data = bytearray()
+        offset = 0
+        while offset < result.size:
+            part = yield from self.read(result, offset, min(chunk, result.size - offset))
+            if not part:
+                break
+            data.extend(part)
+            offset += len(part)
+        yield from self.close(result)
+        return bytes(data)

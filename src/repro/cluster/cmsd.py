@@ -1,0 +1,683 @@
+"""The cmsd cluster-management daemon.
+
+One per node.  Its behaviour depends on the node's tree role:
+
+* **manager / supervisor** — owns a :class:`~repro.core.cache.NameCache`
+  over its ≤64 direct subordinates, answers ``Locate`` requests from
+  clients, floods ``QueryFile`` down the tree, collects ``HaveFile``
+  responses through the fast response queue, and redirects clients
+  (§II-B2/B3, §III).
+* **server** — answers ``QueryFile`` with ``HaveFile`` *only when the local
+  xrootd actually has (or can stage) the file*; silence is the negative
+  response (request-rarely-respond, §III-B).
+
+Every cmsd below the root also runs the subordinate half: login to its
+parents at start, heartbeats carrying load/space metrics, and automatic
+re-login when a (state-less, restarted) parent stops recognizing it — the
+mechanism behind "clusters of hundreds of nodes can begin to serve files
+within seconds of restarting" (§V).
+
+The daemon is a set of cooperating simulation processes:
+
+    main loop        — inbox dispatch, with a per-message service time
+    response clock   — the 133 ms fast-response expiry thread (§III-B)
+    window ticker    — L_t/64 cache eviction clock (§III-A3)
+    heartbeat loop   — subordinate -> parents
+    liveness sweep   — parent-side disconnect/drop timers (§III-A4)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.cluster import protocol as pr
+from repro.cluster.ids import NodeId, Role, cmsd_host
+from repro.cluster.xrootd import XrootdServer
+from repro.core import bitvec
+from repro.core.cache import NameCache
+from repro.core.corrections import ClusterMembership
+from repro.core.crc32 import hash_name
+from repro.core.deadline import DeadlinePolicy
+from repro.core.response_queue import AccessMode, ResponseQueue
+from repro.core.selection import MostSpace, RoundRobin, SelectionPolicy, ServerMetrics
+from repro.sim.errors import Interrupt
+from repro.sim.kernel import Process, Simulator
+from repro.sim.latency import Fixed, LatencyModel
+from repro.sim.network import Network
+
+__all__ = ["CmsdConfig", "CmsdStats", "ChildInfo", "Cmsd"]
+
+
+@dataclass
+class CmsdConfig:
+    """Tunables; defaults follow the paper's stated values."""
+
+    #: Full wait before silence means non-existence (paper: 5 s).
+    full_delay: float = 5.0
+    #: Location-object lifetime L_t (paper: 8 h).
+    lifetime: float = 8 * 3600.0
+    #: Fast-response clocking period (paper: 133 ms).
+    fast_period: float = 0.133
+    #: Response-queue anchors (paper: 1024).
+    anchors: int = 1024
+    #: Per-message processing cost of this cmsd.
+    service_time: LatencyModel = field(default_factory=lambda: Fixed(5e-6))
+    #: Subordinate -> parent heartbeat interval.
+    heartbeat_interval: float = 1.0
+    #: Missed-heartbeat horizon after which a child is marked offline.
+    disconnect_timeout: float = 3.5
+    #: Offline horizon after which a child is dropped from the cluster
+    #: ("Should the server not reconnect in a configurable amount of time").
+    drop_timeout: float = 600.0
+    #: Missed-ack horizon after which a subordinate re-logins.
+    relogin_timeout: float = 3.5
+    #: Selection policy for read/write redirection.
+    read_policy: SelectionPolicy = field(default_factory=RoundRobin)
+    #: Selection policy for placing new files.
+    create_policy: SelectionPolicy = field(default_factory=MostSpace)
+    #: ABLATION (bench E6): when False the fast response queue is bypassed —
+    #: clients with queries in flight are simply told to wait the full
+    #: delay and retry, as a design without §III-B's queue would.
+    fast_response: bool = True
+    #: ABLATION (bench E10): when False, deadline-based query
+    #: synchronization is off — every thread finding no holders re-queries
+    #: all eligible servers itself, duplicating floods (§III-C2's "only one
+    #: thread should issue the queries" un-enforced).
+    deadline_sync: bool = True
+    #: EXTENSION: when True, redirection prefers holders at the client's
+    #: site (WAN federations, §IV-A); falls back to the full candidate set
+    #: when no local replica exists.
+    locality_aware: bool = False
+
+
+@dataclass
+class CmsdStats:
+    locates: int = 0
+    redirects: int = 0
+    waits_sent: int = 0
+    notfounds: int = 0
+    queries_sent: int = 0
+    haves_sent: int = 0
+    haves_received: int = 0
+    fast_released: int = 0
+    logins_handled: int = 0
+    relogins_sent: int = 0
+    prepares: int = 0
+    refreshes: int = 0
+
+
+@dataclass
+class ChildInfo:
+    """Parent-side metadata about one direct subordinate."""
+
+    name: str
+    role: Role
+    last_seen: float = 0.0
+    site: str = ""
+
+
+@dataclass(frozen=True)
+class _ClientWaiter:
+    """Fast-response-queue payload for a waiting client."""
+
+    reply_to: str
+    req_id: int
+    path: str
+    create: bool
+
+
+@dataclass(frozen=True)
+class _ParentWaiter:
+    """Fast-response-queue payload for a parent's pending QueryFile.
+
+    On release the supervisor sends a single compressed ``HaveFile`` up —
+    "multiple responses that are sent to a supervisor are compressed into a
+    single response" (§II-B2).  On expiry nothing is sent: silence *is* the
+    negative answer.
+    """
+
+    parent_host: str
+    path: str
+    hash_val: int
+
+
+class Cmsd:
+    """One node's cluster-management daemon."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: NodeId,
+        *,
+        parents: tuple[str, ...] = (),  # parent node names
+        exports: tuple[str, ...] = ("/store",),
+        xrootd: XrootdServer | None = None,
+        config: CmsdConfig | None = None,
+        rng: random.Random | None = None,
+        instance: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.parents = parents
+        self.exports = exports
+        self.xrootd = xrootd
+        self.config = config if config is not None else CmsdConfig()
+        self.rng = rng if rng is not None else random.Random(0)
+        self.instance = instance
+        self.host = network.hosts.get(node_id.cmsd) or network.add_host(node_id.cmsd)
+        self.stats = CmsdStats()
+
+        if node_id.role is not Role.SERVER:
+            self.membership = ClusterMembership()
+            self.cache = NameCache(self.membership, lifetime=self.config.lifetime)
+            self.rq = ResponseQueue(anchors=self.config.anchors, period=self.config.fast_period)
+            self.deadline = DeadlinePolicy(full_delay=self.config.full_delay)
+            self.metrics = ServerMetrics()
+            self.children: dict[str, ChildInfo] = {}
+        else:
+            self.membership = None
+            self.cache = None
+            self.rq = None
+            self.deadline = None
+            self.metrics = None
+            self.children = {}
+
+        self._procs: list[Process] = []
+        self._rq_wake = None
+        self._last_parent_ack: dict[str, float] = {}
+        self._query_serial = 0
+
+        if node_id.role is Role.SERVER and xrootd is not None:
+            # The "newfile" advisory hook: without it, a manager whose cache
+            # already concluded "nobody has this file" would never learn the
+            # file was just created (its V_q is empty, so nothing re-asks).
+            xrootd.on_create_hooks.append(self._advertise_new_file)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self._procs = [self.sim.process(self._main_loop(), name=f"cmsd:{self.node_id.name}")]
+        if self.node_id.role is not Role.SERVER:
+            self._procs.append(
+                self.sim.process(self._response_clock(), name=f"cmsd-rq:{self.node_id.name}")
+            )
+            self._procs.append(
+                self.sim.process(self._window_ticker(), name=f"cmsd-tick:{self.node_id.name}")
+            )
+            self._procs.append(
+                self.sim.process(self._liveness_sweep(), name=f"cmsd-sweep:{self.node_id.name}")
+            )
+        if self.parents:
+            self._login_to_parents()
+            self._procs.append(
+                self.sim.process(self._heartbeat_loop(), name=f"cmsd-hb:{self.node_id.name}")
+            )
+
+    def stop(self) -> None:
+        for p in self._procs:
+            p.interrupt("stop")
+        self._procs = []
+
+    # -- outbound helpers -----------------------------------------------------
+
+    def _send(self, to: str, msg: object) -> None:
+        self.network.send(self.host.name, to, msg, size=pr.estimate_size(msg))
+
+    def _login_to_parents(self) -> None:
+        msg = pr.Login(
+            node=self.node_id.name,
+            role=self.node_id.role.value,
+            paths=self.exports,
+            instance=self.instance,
+        )
+        for parent in self.parents:
+            self._send(cmsd_host(parent), msg)
+        self.stats.relogins_sent += 1
+
+    # -- subordinate half -----------------------------------------------------
+
+    def _heartbeat_loop(self):
+        try:
+            while True:
+                yield self.sim.timeout(self.config.heartbeat_interval)
+                load = self.xrootd.load if self.xrootd is not None else 0.0
+                space = self.xrootd.free_space if self.xrootd is not None else 0.0
+                site = self.network.site_of(self.host.name) or ""
+                hb = pr.Heartbeat(node=self.node_id.name, load=load, free_space=space, site=site)
+                for parent in self.parents:
+                    self._send(cmsd_host(parent), hb)
+                    last = self._last_parent_ack.get(parent, self.sim.now)
+                    if self.sim.now - last > self.config.relogin_timeout:
+                        # Parent went quiet: assume it restarted state-less
+                        # and re-introduce ourselves.
+                        self._login_to_parents()
+                        self._last_parent_ack[parent] = self.sim.now
+        except Interrupt:
+            return
+
+    # -- parent-side background processes ----------------------------------------
+
+    def _response_clock(self):
+        """The fast-response 'thread': expire anchors past 133 ms.
+
+        Expired client waiters are told to wait a full period and retry;
+        expired parent waiters get nothing (non-response = negative).
+        """
+        try:
+            while True:
+                if self.rq.active_anchors == 0:
+                    self._rq_wake = self.sim.event()
+                    yield self._rq_wake
+                nxt = self.rq.next_expiry()
+                if nxt is None:
+                    continue
+                # The 1 µs slack guards against float round-off leaving the
+                # oldest anchor infinitesimally younger than the cutoff,
+                # which would spin this loop on zero-length timeouts.
+                yield self.sim.timeout(max(0.0, nxt - self.sim.now) + 1e-6)
+                for waiter in self.rq.expire(self.sim.now):
+                    payload = waiter.payload
+                    if isinstance(payload, _ClientWaiter):
+                        self._send(
+                            payload.reply_to,
+                            pr.Wait(payload.req_id, payload.path, self.config.full_delay),
+                        )
+                        self.stats.waits_sent += 1
+        except Interrupt:
+            return
+
+    def _wake_response_clock(self) -> None:
+        if self._rq_wake is not None and not self._rq_wake.triggered:
+            self._rq_wake.succeed()
+
+    def _window_ticker(self):
+        try:
+            while True:
+                yield self.sim.timeout(self.cache.tick_interval)
+                self.cache.tick()
+                self.cache.run_background_removal()
+        except Interrupt:
+            return
+
+    def _liveness_sweep(self):
+        """Disconnect children whose heartbeats stopped; drop them later.
+
+        Implements §III-A4's two-phase removal: a silent child first goes
+        *offline* (still a member, cached info stays valid), and only after
+        ``drop_timeout`` is it dropped (V_m scrubbed, slot freed).
+        """
+        try:
+            while True:
+                yield self.sim.timeout(self.config.heartbeat_interval)
+                now = self.sim.now
+                for name, info in list(self.children.items()):
+                    slot = self.membership.slot_of(name)
+                    if slot is None:
+                        del self.children[name]
+                        continue
+                    silent_for = now - info.last_seen
+                    entry = self.membership.slot(slot)
+                    if entry.online and silent_for > self.config.disconnect_timeout:
+                        self.membership.disconnect(name)
+                    elif not entry.online and silent_for > self.config.drop_timeout:
+                        self.membership.drop(name)
+                        del self.children[name]
+        except Interrupt:
+            return
+
+    # -- main dispatch ---------------------------------------------------------
+
+    def _main_loop(self):
+        try:
+            while True:
+                env = yield self.host.inbox.get()
+                yield self.sim.timeout(self.config.service_time.sample(self.rng))
+                self._dispatch(env.payload, env.src)
+        except Interrupt:
+            return
+
+    def _dispatch(self, msg: object, src: str) -> None:
+        role = self.node_id.role
+        if isinstance(msg, pr.Heartbeat) and role is not Role.SERVER:
+            self._on_heartbeat(msg, src)
+        elif isinstance(msg, pr.Login) and role is not Role.SERVER:
+            self._on_login(msg, src)
+        elif isinstance(msg, pr.QueryFile):
+            if role is Role.SERVER:
+                self._on_query_server(msg, src)
+            else:
+                self._on_query_supervisor(msg, src)
+        elif isinstance(msg, pr.HaveFile) and role is not Role.SERVER:
+            self._on_have(msg)
+        elif isinstance(msg, pr.Locate) and role is not Role.SERVER:
+            self._on_locate(msg)
+        elif isinstance(msg, pr.Prepare) and role is not Role.SERVER:
+            self._on_prepare(msg)
+        elif isinstance(msg, pr.HeartbeatAck):
+            self._on_heartbeat_ack(msg, src)
+        # Anything else: drop (e.g. QueryFile racing a role change).
+
+    # -- membership handling -----------------------------------------------------
+
+    def _on_login(self, msg: pr.Login, src: str) -> None:
+        slot = self.membership.login(msg.node, msg.paths)
+        self.children[msg.node] = ChildInfo(
+            name=msg.node, role=Role(msg.role), last_seen=self.sim.now
+        )
+        self.metrics.selections[slot] = 0
+        self.stats.logins_handled += 1
+        self._send(src, pr.LoginAck(slot))
+
+    def _on_heartbeat(self, msg: pr.Heartbeat, src: str) -> None:
+        info = self.children.get(msg.node)
+        slot = self.membership.slot_of(msg.node)
+        if info is None or slot is None:
+            # We do not know this child (we probably restarted): tell it so.
+            self._send(src, pr.HeartbeatAck(node=self.node_id.name, known=False))
+            return
+        info.last_seen = self.sim.now
+        info.site = msg.site
+        entry = self.membership.slot(slot)
+        if not entry.online:
+            # Reconnection within the drop window (case 3 of §III-A4).
+            self.membership.login(msg.node, entry.paths)
+        self.metrics.load[slot] = msg.load
+        self.metrics.free_space[slot] = msg.free_space
+        self._send(src, pr.HeartbeatAck(node=self.node_id.name, known=True))
+
+    def _on_heartbeat_ack(self, msg: pr.HeartbeatAck, src: str) -> None:
+        parent = msg.node
+        self._last_parent_ack[parent] = self.sim.now
+        if not msg.known:
+            self._login_to_parents()
+
+    # -- server-side query handling (the request-rarely-respond leaf) --------------
+
+    def _on_query_server(self, msg: pr.QueryFile, src: str) -> None:
+        """Answer only positively; silence is the negative (§III-B)."""
+        assert self.xrootd is not None, "server cmsd needs its xrootd"
+        if self.xrootd.fs.exists(msg.path):
+            reply = pr.HaveFile(
+                path=msg.path,
+                hash_val=msg.hash_val,
+                node=self.node_id.name,
+                pending=False,
+                write_capable=True,
+            )
+        elif self.xrootd.mss is not None and self.xrootd.mss.has(msg.path):
+            reply = pr.HaveFile(
+                path=msg.path,
+                hash_val=msg.hash_val,
+                node=self.node_id.name,
+                pending=True,
+                write_capable=True,
+            )
+        else:
+            return
+        self.stats.haves_sent += 1
+        self._send(src, reply)
+
+    def _advertise_new_file(self, path: str) -> None:
+        """Unsolicited HaveFile to all parents after a local create."""
+        msg = pr.HaveFile(
+            path=path,
+            hash_val=hash_name(path),
+            node=self.node_id.name,
+            pending=False,
+            write_capable=True,
+        )
+        for parent in self.parents:
+            self._send(cmsd_host(parent), msg)
+            self.stats.haves_sent += 1
+
+    # -- supervisor/manager logic ---------------------------------------------------
+
+    def _flood_queries(self, obj, path: str, hash_val: int, mode: str) -> None:
+        """Send QueryFile to every *online* server in V_q; V_q keeps the
+        unreachable remainder (resolution step 6)."""
+        targets = obj.v_q & self.membership.v_online
+        if not targets:
+            return
+        self._query_serial += 1
+        q = pr.QueryFile(path=path, hash_val=hash_val, mode=mode, serial=self._query_serial)
+        for slot in bitvec.iter_bits(targets):
+            name = self.membership.server_name(slot)
+            if name is not None:
+                self._send(cmsd_host(name), q)
+                self.stats.queries_sent += 1
+        obj.v_q &= ~targets & bitvec.FULL_MASK
+
+    def _enqueue_waiter(self, obj, mode: str, payload) -> bool:
+        outcome = self.rq.add_waiter(obj, mode, payload, self.sim.now)
+        if outcome.accepted and outcome.queue_was_empty:
+            self._wake_response_clock()
+        return outcome.accepted
+
+    def _candidates(
+        self, obj, avoid: tuple[str, ...], client_site: str = ""
+    ) -> tuple[int, bool]:
+        """Selectable (online) holders, preferring V_h over V_p.
+
+        Returns (vector, pending) after excluding avoided node names.  With
+        locality awareness enabled and a known client site, holders at that
+        site are preferred when any exist (extension; see CmsdConfig).
+        """
+        avoid_mask = 0
+        for name in avoid:
+            slot = self.membership.slot_of(name)
+            if slot is not None:
+                avoid_mask |= bitvec.bit(slot)
+        usable = ~avoid_mask & self.membership.v_online & bitvec.FULL_MASK
+        holders = obj.v_h & usable
+        if holders:
+            return self._prefer_local(holders, client_site), False
+        preparing = obj.v_p & usable
+        if preparing:
+            return self._prefer_local(preparing, client_site), True
+        return 0, False
+
+    def _prefer_local(self, candidates: int, client_site: str) -> int:
+        if not self.config.locality_aware or not client_site:
+            return candidates
+        local = 0
+        for slot in bitvec.iter_bits(candidates):
+            info = self.children.get(self.membership.server_name(slot) or "")
+            if info is not None and info.site == client_site:
+                local |= bitvec.bit(slot)
+        return local or candidates
+
+    def _redirect(self, msg: pr.Locate, slot: int, pending: bool) -> None:
+        name = self.membership.server_name(slot)
+        info = self.children.get(name)
+        role = info.role.value if info is not None else Role.SERVER.value
+        self._send(
+            msg.reply_to,
+            pr.Redirect(msg.req_id, msg.path, target=name, target_role=role, pending=pending),
+        )
+        self.stats.redirects += 1
+
+    def _on_locate(self, msg: pr.Locate) -> None:
+        self.stats.locates += 1
+        now = self.sim.now
+        if msg.refresh:
+            existing, _ = self.cache.lookup(msg.path, now, add=False)
+            if existing is not None:
+                self.cache.refresh(existing, now)
+                self.stats.refreshes += 1
+        ref, is_new = self.cache.lookup(msg.path, now)
+        obj = ref.get()
+        mode = AccessMode.WRITE if msg.create or msg.mode == AccessMode.WRITE else AccessMode.READ
+
+        # Step 3: somebody already has it -> redirect (even for creates:
+        # the open-with-create will fail there with 'exists', the honest
+        # POSIX outcome).
+        candidates, pending = self._candidates(obj, msg.avoid, msg.client_site)
+        if candidates:
+            policy = self.config.read_policy
+            slot = policy.choose(candidates, self.metrics)
+            self._redirect(msg, slot, pending)
+            return
+
+        # Steps 1/5/6: flood whoever still needs asking, under the
+        # deadline-based single-querier rule (§III-C2).
+        if self.deadline.i_should_query(obj, now):
+            self.deadline.arm(obj, now)
+            self._flood_queries(obj, msg.path, ref.hash_val, mode)
+        elif not self.config.deadline_sync and self.deadline.active(obj, now):
+            # Ablation: with synchronization off, this thread cannot tell a
+            # flood is already in flight, so it re-queries every eligible
+            # server itself — the duplicated work the deadline exists to
+            # prevent.
+            obj.v_q = self.membership.eligible(msg.path)
+            self.deadline.arm(obj, now)
+            self._flood_queries(obj, msg.path, ref.hash_val, mode)
+
+        if self.deadline.active(obj, now):
+            # Queries (ours or another thread's) may still be answered:
+            # wait on the fast response queue (steps 2/4) — unless the
+            # fast-response ablation is on, in which case the client simply
+            # eats the full conservative delay.
+            if not self.config.fast_response:
+                self._send(msg.reply_to, pr.Wait(msg.req_id, msg.path, self.config.full_delay))
+                self.stats.waits_sent += 1
+                return
+            payload = _ClientWaiter(msg.reply_to, msg.req_id, msg.path, msg.create)
+            if not self._enqueue_waiter(obj, mode, payload):
+                self._send(msg.reply_to, pr.Wait(msg.req_id, msg.path, self.config.full_delay))
+                self.stats.waits_sent += 1
+            return
+
+        # Deadline passed and nothing turned up: the file does not exist
+        # anywhere below us.
+        if msg.create:
+            self._place_create(msg, obj)
+        else:
+            self._send(msg.reply_to, pr.NotFound(msg.req_id, msg.path))
+            self.stats.notfounds += 1
+
+    def _place_create(self, msg: pr.Locate, obj) -> None:
+        """Pick a node for a brand-new file (non-existence now confirmed)."""
+        eligible = self.membership.eligible(msg.path) & self.membership.v_online
+        avoid_mask = 0
+        for name in msg.avoid:
+            slot = self.membership.slot_of(name)
+            if slot is not None:
+                avoid_mask |= bitvec.bit(slot)
+        eligible &= ~avoid_mask & bitvec.FULL_MASK
+        if not eligible:
+            self._send(msg.reply_to, pr.NotFound(msg.req_id, msg.path))
+            self.stats.notfounds += 1
+            return
+        slot = self.config.create_policy.choose(eligible, self.metrics)
+        self._redirect(msg, slot, pending=False)
+
+    def _on_prepare(self, msg: pr.Prepare) -> None:
+        """Spawn the parallel background look-ups of §III-B2.
+
+        Each path is processed exactly like a cold Locate, minus any client
+        to answer: flood now, let responses populate the cache.  The
+        client's later individual requests then hit warm (or
+        deadline-expired) objects.
+        """
+        self.stats.prepares += 1
+        now = self.sim.now
+        for path in msg.paths:
+            ref, _ = self.cache.lookup(path, now)
+            obj = ref.get()
+            if self.deadline.i_should_query(obj, now):
+                self.deadline.arm(obj, now)
+                self._flood_queries(obj, path, ref.hash_val, AccessMode.READ)
+        self._send(msg.reply_to, pr.PrepareAck(msg.req_id, scheduled=len(msg.paths)))
+
+    def _on_query_supervisor(self, msg: pr.QueryFile, src: str) -> None:
+        """A parent asks us; answer from cache or flood our own children.
+
+        This is where response compression happens: however many of our
+        children respond, the parent receives at most one HaveFile naming
+        *us*.
+        """
+        now = self.sim.now
+        ref, _ = self.cache.lookup(msg.path, now)
+        obj = ref.get()
+        if obj.v_h & self.membership.v_online:
+            self._send_have_up(src, msg.path, msg.hash_val, pending=False)
+            return
+        if obj.v_p & self.membership.v_online:
+            self._send_have_up(src, msg.path, msg.hash_val, pending=True)
+            return
+        if self.deadline.i_should_query(obj, now):
+            self.deadline.arm(obj, now)
+            self._flood_queries(obj, msg.path, msg.hash_val, msg.mode)
+        if self.deadline.active(obj, now):
+            payload = _ParentWaiter(parent_host=src, path=msg.path, hash_val=msg.hash_val)
+            self._enqueue_waiter(obj, AccessMode.READ, payload)
+        # Deadline passed and empty: stay silent — that IS the answer.
+
+    def _send_have_up(self, parent_host: str, path: str, hash_val: int, *, pending: bool) -> None:
+        self._send(
+            parent_host,
+            pr.HaveFile(
+                path=path,
+                hash_val=hash_val,
+                node=self.node_id.name,
+                pending=pending,
+                write_capable=True,
+            ),
+        )
+        self.stats.haves_sent += 1
+
+    def _on_have(self, msg: pr.HaveFile) -> None:
+        """A subordinate reported holding the file: update cache, release
+        every waiter the fast response queue holds for it (§III-B1)."""
+        self.stats.haves_received += 1
+        slot = self.membership.slot_of(msg.node)
+        if slot is None:
+            return  # responder was dropped while the answer was in flight
+        prior_ref, _ = self.cache.lookup(msg.path, self.sim.now, add=False)
+        prior_known = prior_ref is not None and (
+            prior_ref.get().v_h | prior_ref.get().v_p
+        ) != 0
+        obj = self.cache.update_holder(msg.path, msg.hash_val, slot, pending=msg.pending)
+        released = (
+            [] if obj is None else self.rq.on_response(obj, slot, write_capable=msg.write_capable)
+        )
+        answered_parents = {
+            w.payload.parent_host for w in released if isinstance(w.payload, _ParentWaiter)
+        }
+        # Forward one compressed advisory to parents not already answered via
+        # the response queue — but only when this response is *news* (we had
+        # no known holder).  Suppressing the rest is exactly the response
+        # compression of §II-B2: N child answers, at most one message up.
+        if not prior_known:
+            for parent in self.parents:
+                phost = cmsd_host(parent)
+                if phost not in answered_parents:
+                    self._send_have_up(phost, msg.path, msg.hash_val, pending=msg.pending)
+        if obj is None or not released:
+            return
+        self.stats.fast_released += len(released)
+        name = self.membership.server_name(slot)
+        info = self.children.get(name)
+        role = info.role.value if info is not None else Role.SERVER.value
+        for waiter in released:
+            payload = waiter.payload
+            if isinstance(payload, _ClientWaiter):
+                self.metrics.record_selection(slot)
+                self._send(
+                    payload.reply_to,
+                    pr.Redirect(
+                        payload.req_id,
+                        payload.path,
+                        target=name,
+                        target_role=role,
+                        pending=msg.pending,
+                    ),
+                )
+                self.stats.redirects += 1
+            elif isinstance(payload, _ParentWaiter):
+                self._send_have_up(
+                    payload.parent_host, payload.path, payload.hash_val, pending=msg.pending
+                )

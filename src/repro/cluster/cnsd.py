@@ -1,0 +1,84 @@
+"""The Cluster Name Space daemon (cnsd).
+
+Scalla deliberately omits cluster-wide ``ls`` from the low-latency path;
+footnote 3 of the paper notes full POSIX semantics are provided by a
+separate Cluster Name Space daemon (plus FUSE).  This module is that
+daemon: servers push ``NamespaceUpdate`` notifications on create/remove,
+and the cnsd maintains an eventually-consistent global view that can be
+listed by prefix — off the critical path, exactly as designed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.cluster import protocol as pr
+from repro.sim.kernel import Process, Simulator
+from repro.sim.network import Network
+
+__all__ = ["CnsDaemon", "CNSD_HOST"]
+
+CNSD_HOST = "cnsd"
+
+
+class CnsDaemon:
+    """Global namespace aggregator."""
+
+    def __init__(self, sim: Simulator, network: Network, host_name: str = CNSD_HOST) -> None:
+        self.sim = sim
+        self.network = network
+        self.host = network.add_host(host_name)
+        #: path -> node names currently holding a copy.
+        self._holders: dict[str, set[str]] = defaultdict(set)
+        self.updates = 0
+        self._proc: Process | None = None
+
+    def start(self) -> None:
+        self._proc = self.sim.process(self._main_loop(), name="cnsd")
+
+    def stop(self) -> None:
+        if self._proc is not None:
+            self._proc.interrupt("stop")
+            self._proc = None
+
+    def _main_loop(self):
+        while True:
+            env = yield self.host.inbox.get()
+            msg = env.payload
+            if isinstance(msg, pr.NamespaceUpdate):
+                self.apply(msg.node, msg.path, msg.op)
+            elif isinstance(msg, pr.List):
+                names = tuple(self.list(msg.prefix))
+                reply = pr.ListAck(msg.req_id, names)
+                self.network.send(
+                    self.host.name, msg.reply_to, reply, size=pr.estimate_size(reply)
+                )
+
+    # -- namespace maintenance ----------------------------------------------------
+
+    def apply(self, node: str, path: str, op: str) -> None:
+        """Apply one update (also used out-of-band when populating clusters)."""
+        self.updates += 1
+        if op == "create":
+            self._holders[path].add(node)
+        elif op == "remove":
+            holders = self._holders.get(path)
+            if holders is not None:
+                holders.discard(node)
+                if not holders:
+                    del self._holders[path]
+        else:
+            raise ValueError(f"unknown namespace op {op!r}")
+
+    # -- queries -------------------------------------------------------------
+
+    def list(self, prefix: str = "/") -> list[str]:
+        """Sorted global listing under *prefix* — the ls Scalla itself
+        refuses to do on the fast path."""
+        return sorted(p for p in self._holders if p.startswith(prefix))
+
+    def holders(self, path: str) -> set[str]:
+        return set(self._holders.get(path, ()))
+
+    def file_count(self) -> int:
+        return len(self._holders)

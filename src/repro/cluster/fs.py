@@ -1,0 +1,106 @@
+"""Per-server in-memory filesystem.
+
+"At a data server level, the namespace conforms to full POSIX semantics
+since each data server uses the host's native file system" (§II-B4).  This
+module is that native file system, reduced to what the experiments exercise:
+hierarchical paths, create/read/write/remove/stat/list, and byte contents.
+
+Contents are stored sparsely (dict of extents would be overkill — files here
+are small synthetic payloads); reads of unwritten ranges return zero bytes,
+like a sparse POSIX file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FileData", "ServerFS", "FSError"]
+
+
+class FSError(Exception):
+    """Filesystem operation failure (missing file, duplicate create...)."""
+
+
+@dataclass
+class FileData:
+    """One stored file."""
+
+    path: str
+    data: bytearray = field(default_factory=bytearray)
+    created_at: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+class ServerFS:
+    """A single data server's local store."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, FileData] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def create(self, path: str, now: float = 0.0) -> FileData:
+        if not path.startswith("/"):
+            raise FSError(f"path must be absolute: {path!r}")
+        if path in self._files:
+            raise FSError(f"file exists: {path!r}")
+        f = FileData(path=path, created_at=now)
+        self._files[path] = f
+        return f
+
+    def put(self, path: str, data: bytes, now: float = 0.0) -> FileData:
+        """Create-or-replace with contents (cluster population helper)."""
+        f = FileData(path=path, data=bytearray(data), created_at=now)
+        self._files[path] = f
+        return f
+
+    def stat(self, path: str) -> FileData:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FSError(f"no such file: {path!r}") from None
+
+    def read(self, path: str, offset: int, length: int) -> bytes:
+        f = self.stat(path)
+        if offset < 0 or length < 0:
+            raise FSError("negative offset/length")
+        chunk = bytes(f.data[offset : offset + length])
+        # Sparse semantics: reads inside the file size but beyond written
+        # data yield zeros; reads past EOF are short (POSIX).
+        self.bytes_read += len(chunk)
+        return chunk
+
+    def write(self, path: str, offset: int, data: bytes) -> int:
+        f = self.stat(path)
+        if offset < 0:
+            raise FSError("negative offset")
+        end = offset + len(data)
+        if end > len(f.data):
+            f.data.extend(b"\x00" * (end - len(f.data)))
+        f.data[offset:end] = data
+        self.bytes_written += len(data)
+        return len(data)
+
+    def remove(self, path: str) -> None:
+        if path not in self._files:
+            raise FSError(f"no such file: {path!r}")
+        del self._files[path]
+
+    def list(self, prefix: str = "/") -> list[str]:
+        """All paths under *prefix*, sorted (POSIX-ish directory walk)."""
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def paths(self) -> list[str]:
+        return sorted(self._files)
+
+    def total_bytes(self) -> int:
+        return sum(f.size for f in self._files.values())

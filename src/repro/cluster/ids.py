@@ -1,0 +1,52 @@
+"""Node identities and roles.
+
+A Scalla *node* is an xrootd (data/redirect daemon) paired with a cmsd
+(cluster-management daemon) — "the system is symmetric in that for each
+xrootd there is a corresponding cmsd" (§II-B).  In the simulation each
+daemon gets its own network host so their traffic is separately observable:
+``<node>.cmsd`` and ``<node>.xrootd``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Role", "NodeId", "cmsd_host", "xrootd_host"]
+
+
+class Role(enum.Enum):
+    """Where a node sits in the 64-ary tree (§II-B1/B2)."""
+
+    MANAGER = "manager"  # logical head node clients contact first
+    SUPERVISOR = "supervisor"  # interior node: subordinates above servers
+    SERVER = "server"  # leaf node: actually holds data
+
+
+@dataclass(frozen=True)
+class NodeId:
+    """A node's identity: stable name plus tree role."""
+
+    name: str
+    role: Role
+
+    @property
+    def cmsd(self) -> str:
+        return cmsd_host(self.name)
+
+    @property
+    def xrootd(self) -> str:
+        return xrootd_host(self.name)
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.role.value})"
+
+
+def cmsd_host(node_name: str) -> str:
+    """Network host name of a node's cmsd daemon."""
+    return f"{node_name}.cmsd"
+
+
+def xrootd_host(node_name: str) -> str:
+    """Network host name of a node's xrootd daemon."""
+    return f"{node_name}.xrootd"

@@ -1,0 +1,116 @@
+"""POSIX-style namespace view — footnote 3's higher-level layer.
+
+Scalla's fast path deliberately omits semantics that conflict with low
+latency, notably "an ls-type function across all nodes in a cluster"
+(§II-B4).  Footnote 3: "full POSIX semantics can be implemented in higher
+level functions ... with a Cluster Name Space daemon and the Linux FUSE
+file system."
+
+:class:`PosixView` is that higher level: a directory-tree lens over the
+cnsd's flat global namespace plus Scalla-routed data operations.  It is
+what a FUSE mount would call into; exposing it as an actual kernel mount is
+out of scope (no kernel here), but every operation a FUSE handler needs —
+``listdir``, ``stat``, ``walk``, ``read_file``, ``write_file``, ``unlink``
+— is provided, with listings answered *off* the cluster's fast path, by the
+cnsd, exactly as designed.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass
+
+from repro.cluster.client import NoSuchFile, ScallaClient
+from repro.cluster.cnsd import CnsDaemon
+
+__all__ = ["DirEntry", "PosixView"]
+
+
+@dataclass(frozen=True)
+class DirEntry:
+    """One ``listdir`` result."""
+
+    name: str
+    is_dir: bool
+
+
+class PosixView:
+    """Directory-tree semantics over (cnsd namespace, Scalla data plane).
+
+    Directories are implicit (they exist iff some file lives under them),
+    matching how the flat prefix namespace really behaves; asking for a
+    directory listing never touches a manager or data server.
+    """
+
+    def __init__(self, cnsd: CnsDaemon, client: ScallaClient) -> None:
+        self.cnsd = cnsd
+        self.client = client
+
+    # -- namespace (cnsd-backed, off the fast path) ------------------------------
+
+    def listdir(self, directory: str) -> list[DirEntry]:
+        """Immediate children of *directory*, files and subdirectories."""
+        prefix = directory.rstrip("/") + "/"
+        if prefix == "//":
+            prefix = "/"
+        files: set[str] = set()
+        dirs: set[str] = set()
+        for path in self.cnsd.list(prefix):
+            rest = path[len(prefix):]
+            if not rest:
+                continue
+            head, sep, _tail = rest.partition("/")
+            (dirs if sep else files).add(head)
+        return sorted(
+            [DirEntry(d, True) for d in dirs] + [DirEntry(f, False) for f in files],
+            key=lambda e: e.name,
+        )
+
+    def exists(self, path: str) -> bool:
+        """True for a known file or an implicit directory."""
+        if self.cnsd.holders(path):
+            return True
+        return bool(self.cnsd.list(path.rstrip("/") + "/"))
+
+    def isdir(self, path: str) -> bool:
+        return not self.cnsd.holders(path) and bool(self.cnsd.list(path.rstrip("/") + "/"))
+
+    def walk(self, top: str):
+        """Yield ``(dirpath, dirnames, filenames)`` like :func:`os.walk`."""
+        entries = self.listdir(top)
+        dirnames = [e.name for e in entries if e.is_dir]
+        filenames = [e.name for e in entries if not e.is_dir]
+        yield top, dirnames, filenames
+        for d in dirnames:
+            yield from self.walk(posixpath.join(top, d))
+
+    def glob_count(self, prefix: str) -> int:
+        """Number of files under *prefix* — the bulk query ls exists for."""
+        return len(self.cnsd.list(prefix))
+
+    # -- data plane (Scalla-routed, coroutines) -----------------------------------
+
+    def stat(self, path: str):
+        """Coroutine: (exists, size) resolved through the cluster."""
+        return (yield from self.client.stat(path))
+
+    def read_file(self, path: str):
+        """Coroutine: the file's full contents."""
+        return (yield from self.client.fetch(path))
+
+    def write_file(self, path: str, data: bytes):
+        """Coroutine: create (or open) *path* and write *data* at offset 0."""
+        try:
+            res = yield from self.client.open(path, mode="w", create=True)
+        except Exception:
+            res = yield from self.client.open(path, mode="w")
+        written = yield from self.client.write(res, 0, data)
+        yield from self.client.close(res)
+        return written
+
+    def unlink(self, path: str):
+        """Coroutine: remove one replica of *path*; False when absent."""
+        try:
+            return (yield from self.client.remove(path))
+        except NoSuchFile:
+            return False

@@ -1,0 +1,328 @@
+"""Wire messages of the simulated Scalla protocol.
+
+Plain dataclasses; the network treats them as opaque payloads.  Sizes (in
+bytes) approximate the real cms/xroot protocol framing closely enough for
+the registration-cost experiment (E11), where *what* is transmitted (path
+prefixes vs full manifests) is the entire point.
+
+Naming follows the paper: queries flood down, ``Have`` responses come back
+only from holders (request-rarely-respond), clients get ``Redirect`` /
+``Wait`` / ``NotFound`` verdicts exactly as xrootd's client protocol does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Login",
+    "LoginAck",
+    "Heartbeat",
+    "HeartbeatAck",
+    "QueryFile",
+    "HaveFile",
+    "Locate",
+    "Redirect",
+    "Wait",
+    "NotFound",
+    "Prepare",
+    "PrepareAck",
+    "Open",
+    "OpenAck",
+    "OpenFail",
+    "Read",
+    "ReadAck",
+    "Write",
+    "WriteAck",
+    "Close",
+    "CloseAck",
+    "Stat",
+    "StatAck",
+    "Remove",
+    "RemoveAck",
+    "List",
+    "ListAck",
+    "NamespaceUpdate",
+    "estimate_size",
+]
+
+# -- cmsd control plane -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Login:
+    """Subordinate cmsd announces itself to its parent.
+
+    Carries only the exported path *prefixes* — never a file manifest.
+    This is the design §V contrasts with GFS: "nodes need only identify
+    path prefixes for their hosted data".
+    """
+
+    node: str  # node name (not host)
+    role: str  # Role.value of the subordinate
+    paths: tuple[str, ...]
+    instance: int = 0  # restart counter, diagnostics only
+
+
+@dataclass(frozen=True)
+class LoginAck:
+    slot: int
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic liveness + metrics report from subordinate to parent.
+
+    ``load`` and ``free_space`` feed the parent's selection policy
+    (§II-B3's "load, selection frequency, space" criteria).
+    """
+
+    node: str
+    load: float = 0.0
+    free_space: float = 0.0
+    site: str = ""
+
+
+@dataclass(frozen=True)
+class HeartbeatAck:
+    """Parent's liveness reply; a run of missed acks makes the subordinate
+    re-login, which is how a restarted (state-less) parent rebuilds its
+    membership "within seconds" (§V)."""
+
+    node: str
+    known: bool  # False: parent does not know the sender -> re-login now
+
+
+@dataclass(frozen=True)
+class QueryFile:
+    """Parent asks a subordinate whether it has *path* (flood, §II-B2)."""
+
+    path: str
+    hash_val: int  # streamed along so nobody rehashes (§III-B1)
+    mode: str  # AccessMode.READ / .WRITE
+    serial: int  # parent-side epoch, for diagnostics
+
+
+@dataclass(frozen=True)
+class HaveFile:
+    """Positive response: the sender has (or is preparing) *path*.
+
+    Non-responses ARE the negative responses — there is no NotHave message
+    anywhere in this protocol, by design.
+    """
+
+    path: str
+    hash_val: int
+    node: str
+    pending: bool  # True: staging from MSS (goes to V_p, not V_h)
+    write_capable: bool
+
+
+# -- client-facing location plane ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class Locate:
+    """Client asks a manager/supervisor for a server holding *path*.
+
+    ``refresh`` and ``avoid`` implement the recovery path of §III-C1: a
+    client vectored to a server that failed reissues the request "asking
+    for a cache refresh along with the name of the host that failed".
+    ``create`` marks a new-file request, which needs the non-existence
+    full wait (§III-B2).
+    """
+
+    req_id: int
+    reply_to: str  # client's host
+    path: str
+    mode: str
+    create: bool = False
+    refresh: bool = False
+    avoid: tuple[str, ...] = ()
+    #: Requesting client's site, for locality-aware selection (extension:
+    #: production cmsd derives this from the client's address).
+    client_site: str = ""
+
+
+@dataclass(frozen=True)
+class Redirect:
+    req_id: int
+    path: str
+    target: str  # node name to contact next
+    target_role: str  # server -> open there; supervisor -> locate again
+    pending: bool = False  # target is still staging the file
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Back off *delay* seconds and reissue the request."""
+
+    req_id: int
+    path: str
+    delay: float
+
+
+@dataclass(frozen=True)
+class NotFound:
+    req_id: int
+    path: str
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Bulk pre-location: spawn parallel background look-ups (§III-B2)."""
+
+    req_id: int
+    reply_to: str
+    paths: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PrepareAck:
+    req_id: int
+    scheduled: int
+
+
+# -- xrootd data plane ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Open:
+    req_id: int
+    reply_to: str
+    path: str
+    mode: str
+    create: bool = False
+
+
+@dataclass(frozen=True)
+class OpenAck:
+    req_id: int
+    handle: int
+    size: int
+
+
+@dataclass(frozen=True)
+class OpenFail:
+    req_id: int
+    path: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class Read:
+    req_id: int
+    reply_to: str
+    handle: int
+    offset: int
+    length: int
+
+
+@dataclass(frozen=True)
+class ReadAck:
+    req_id: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class Write:
+    req_id: int
+    reply_to: str
+    handle: int
+    offset: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class WriteAck:
+    req_id: int
+    written: int
+
+
+@dataclass(frozen=True)
+class Close:
+    req_id: int
+    reply_to: str
+    handle: int
+
+
+@dataclass(frozen=True)
+class CloseAck:
+    req_id: int
+
+
+@dataclass(frozen=True)
+class Stat:
+    req_id: int
+    reply_to: str
+    path: str
+
+
+@dataclass(frozen=True)
+class StatAck:
+    req_id: int
+    exists: bool
+    size: int
+
+
+@dataclass(frozen=True)
+class Remove:
+    req_id: int
+    reply_to: str
+    path: str
+
+
+@dataclass(frozen=True)
+class RemoveAck:
+    req_id: int
+    removed: bool
+
+
+@dataclass(frozen=True)
+class List:
+    """Server-local listing (full POSIX semantics exist only at leaves)."""
+
+    req_id: int
+    reply_to: str
+    prefix: str
+
+
+@dataclass(frozen=True)
+class ListAck:
+    req_id: int
+    names: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class NamespaceUpdate:
+    """Server -> cnsd notification keeping the global namespace (§II-B4
+    footnote 3) eventually consistent."""
+
+    node: str
+    path: str
+    op: str  # "create" | "remove"
+
+
+# -- size model ---------------------------------------------------------------
+
+_BASE_OVERHEAD = 24  # rough header: lengths, opcodes, stream ids
+
+
+def estimate_size(msg: object) -> int:
+    """Approximate on-the-wire size of a message, in bytes.
+
+    Strings cost their UTF-8 length, byte payloads their length, everything
+    else a flat 8 bytes.  Exactness doesn't matter; *scaling* does (E11
+    compares prefix registration against full manifests).
+    """
+    size = _BASE_OVERHEAD
+    for value in vars(msg).values():
+        if isinstance(value, str):
+            size += len(value.encode("utf-8"))
+        elif isinstance(value, bytes):
+            size += len(value)
+        elif isinstance(value, tuple):
+            size += sum(len(str(v).encode("utf-8")) for v in value)
+        else:
+            size += 8
+    return size

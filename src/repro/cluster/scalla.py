@@ -1,0 +1,241 @@
+"""The ScallaCluster facade: build, populate, and drive a whole cluster.
+
+This is the top of the public API: one object that wires the simulator,
+network, 64-ary tree of nodes, cnsd, and per-server mass storage together,
+with the paper's latency constants as defaults.
+
+Typical use::
+
+    cluster = ScallaCluster(n_servers=64, config=ScallaConfig(seed=1))
+    cluster.populate([f"/store/run1/f{i}.root" for i in range(100)])
+    cluster.settle()
+
+    client = cluster.client()
+    data = cluster.run_process(client.fetch("/store/run1/f0.root"))
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.client import ClientConfig, ScallaClient
+from repro.cluster.cmsd import Cmsd, CmsdConfig
+from repro.cluster.cnsd import CNSD_HOST, CnsDaemon
+from repro.cluster.ids import Role
+from repro.cluster.mss import MassStorage
+from repro.cluster.node import ScallaNode
+from repro.cluster.topology import Topology, build_topology
+from repro.cluster.xrootd import XrootdConfig
+from repro.sim.kernel import Simulator
+from repro.sim.latency import Fixed, LatencyModel
+from repro.sim.network import Network
+
+__all__ = ["ScallaConfig", "ScallaCluster"]
+
+
+@dataclass
+class ScallaConfig:
+    """Cluster-wide tunables.
+
+    Latency defaults model the paper's hardware: ~10 µs per LAN hop, ~80 µs
+    of server-side query handling (so a query round trip lands at the
+    paper's "servers respond within 100us"), 5 µs of manager CPU per
+    message, 1 Gb/s data links.
+    """
+
+    exports: tuple[str, ...] = ("/store",)
+    fanout: int = 64
+    manager_replicas: int = 1
+    seed: int = 0
+
+    #: One-way wire latency between any two hosts.
+    network_latency: LatencyModel = field(default_factory=lambda: Fixed(10e-6))
+    #: Manager/supervisor per-message processing cost.
+    manager_service: LatencyModel = field(default_factory=lambda: Fixed(5e-6))
+    #: Server cmsd per-message processing cost (query handling).
+    server_service: LatencyModel = field(default_factory=lambda: Fixed(80e-6))
+    #: xrootd per-request service time (open/read bookkeeping + seek).
+    xrootd_service: LatencyModel = field(default_factory=lambda: Fixed(50e-6))
+    #: Data transfer cost per byte (1 Gb/s ≈ 8 ns/byte).
+    per_byte: float = 8e-9
+    #: MSS staging time ("order of minutes"; tests shrink this).
+    stage_latency: LatencyModel = field(default_factory=lambda: Fixed(120.0))
+
+    full_delay: float = 5.0
+    lifetime: float = 8 * 3600.0
+    fast_period: float = 0.133
+    heartbeat_interval: float = 1.0
+    disconnect_timeout: float = 3.5
+    drop_timeout: float = 600.0
+    relogin_timeout: float = 3.5
+    #: Ablation switches (benches E6/E10); see CmsdConfig.
+    fast_response: bool = True
+    deadline_sync: bool = True
+    #: Extension: prefer same-site replicas when redirecting (see CmsdConfig).
+    locality_aware: bool = False
+
+    client: ClientConfig = field(default_factory=ClientConfig)
+
+    def cmsd_config(self, role: Role) -> CmsdConfig:
+        service = self.server_service if role is Role.SERVER else self.manager_service
+        return CmsdConfig(
+            full_delay=self.full_delay,
+            lifetime=self.lifetime,
+            fast_period=self.fast_period,
+            service_time=service,
+            heartbeat_interval=self.heartbeat_interval,
+            disconnect_timeout=self.disconnect_timeout,
+            drop_timeout=self.drop_timeout,
+            relogin_timeout=self.relogin_timeout,
+            fast_response=self.fast_response,
+            deadline_sync=self.deadline_sync,
+            locality_aware=self.locality_aware,
+        )
+
+    def xrootd_config(self) -> XrootdConfig:
+        return XrootdConfig(service_time=self.xrootd_service, per_byte=self.per_byte)
+
+
+class ScallaCluster:
+    """A fully wired simulated Scalla deployment."""
+
+    def __init__(
+        self,
+        n_servers: int,
+        *,
+        config: ScallaConfig | None = None,
+        start: bool = True,
+    ) -> None:
+        self.config = config if config is not None else ScallaConfig()
+        self.sim = Simulator()
+        self.rng = random.Random(self.config.seed)
+        self.network = Network(
+            self.sim,
+            default_latency=self.config.network_latency,
+            rng=random.Random(self.rng.random()),
+        )
+        self.topology: Topology = build_topology(
+            n_servers,
+            fanout=self.config.fanout,
+            exports=self.config.exports,
+            manager_replicas=self.config.manager_replicas,
+        )
+        self.cnsd = CnsDaemon(self.sim, self.network)
+        self.cnsd.start()
+
+        self.nodes: dict[str, ScallaNode] = {}
+        for name, spec in self.topology.nodes.items():
+            mss = (
+                MassStorage(
+                    self.sim,
+                    stage_latency=self.config.stage_latency,
+                    rng=random.Random(self.rng.random()),
+                )
+                if spec.role is Role.SERVER
+                else None
+            )
+            self.nodes[name] = ScallaNode(
+                self.sim,
+                self.network,
+                spec,
+                cmsd_config=self.config.cmsd_config(spec.role),
+                xrootd_config=self.config.xrootd_config(),
+                mss=mss,
+                cnsd_host=CNSD_HOST,
+                rng=random.Random(self.rng.random()),
+            )
+        self._clients = 0
+        if start:
+            self.start()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        for node in self.nodes.values():
+            if not node.running:
+                node.start()
+
+    def settle(self, duration: float = 0.01) -> None:
+        """Run long enough for logins/acks to complete (LAN microseconds)."""
+        self.sim.run(until=self.sim.now + duration)
+
+    def run(self, until: float | None = None) -> None:
+        self.sim.run(until=until)
+
+    def run_process(self, gen, *, limit: float | None = None):
+        """Drive a client coroutine to completion; return its value."""
+        return self.sim.run_until_process(self.sim.process(gen), limit=limit)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def managers(self) -> tuple[str, ...]:
+        return self.topology.managers
+
+    def node(self, name: str) -> ScallaNode:
+        return self.nodes[name]
+
+    def manager_cmsd(self, idx: int = 0) -> Cmsd:
+        cmsd = self.nodes[self.managers[idx]].cmsd
+        assert cmsd is not None
+        return cmsd
+
+    @property
+    def servers(self) -> list[str]:
+        return self.topology.servers
+
+    def client(self, name: str | None = None, *, config: ClientConfig | None = None) -> ScallaClient:
+        if name is None:
+            name = f"client{self._clients:04d}"
+        self._clients += 1
+        return ScallaClient(
+            self.sim,
+            self.network,
+            name,
+            self.managers,
+            config=config if config is not None else replace(self.config.client),
+            rng=random.Random(self.rng.random()),
+        )
+
+    # -- data placement (out-of-band, like pre-existing disk contents) -------------
+
+    def place(self, path: str, server: str, *, data: bytes | None = None, size: int = 1024) -> None:
+        """Put *path* on *server*'s disk directly (no protocol traffic)."""
+        node = self.nodes[server]
+        if node.role is not Role.SERVER:
+            raise ValueError(f"{server} is not a data server")
+        node.fs.put(path, data if data is not None else b"\x00" * size, now=self.sim.now)
+        self.cnsd.apply(server, path, "create")
+
+    def archive(self, path: str, server: str, *, size: int = 1024) -> None:
+        """Register *path* in *server*'s mass storage (offline file)."""
+        node = self.nodes[server]
+        if node.mss is None:
+            raise ValueError(f"{server} has no MSS")
+        node.mss.archive(path, size)
+
+    def populate(
+        self,
+        paths,
+        *,
+        copies: int = 1,
+        size: int = 1024,
+        rng: random.Random | None = None,
+    ) -> dict[str, list[str]]:
+        """Spread *paths* over the data servers; returns path -> holders.
+
+        Placement is round-robin with *copies* replicas each (random with
+        an explicit *rng*), modelling a pre-loaded production federation.
+        """
+        servers = self.servers
+        placement: dict[str, list[str]] = {}
+        for i, path in enumerate(paths):
+            if rng is None:
+                chosen = [servers[(i + c) % len(servers)] for c in range(copies)]
+            else:
+                chosen = rng.sample(servers, min(copies, len(servers)))
+            for s in chosen:
+                self.place(path, s, size=size)
+            placement[path] = chosen
+        return placement

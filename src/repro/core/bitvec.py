@@ -1,0 +1,128 @@
+"""64-bit server vectors.
+
+Scalla describes the location state of every file with three 64-bit vectors
+(V_h, V_p, V_q) in which bit ``1 << i`` stands for server ``i`` of the local
+cluster (Section III-A1 of the paper).  The cluster is organized so that no
+cmsd ever addresses more than 64 direct subordinates, which is what makes a
+single machine word sufficient and every vector operation O(1).
+
+We represent vectors as plain Python ints restricted to 64 bits.  Ints are
+immutable, hashable, compare cheaply, and ``int.bit_count()`` gives a
+C-speed popcount; this is the most compact faithful representation available
+in pure Python.  This module collects the handful of helpers the rest of the
+code base uses so that bit-twiddling idioms stay in one audited place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = [
+    "MAX_SERVERS",
+    "FULL_MASK",
+    "EMPTY",
+    "bit",
+    "has",
+    "set_bit",
+    "clear_bit",
+    "iter_bits",
+    "count",
+    "first_bit",
+    "validate",
+    "from_indices",
+    "to_indices",
+    "format_vec",
+]
+
+#: Maximum number of directly addressable servers per cmsd (paper §III-A1).
+MAX_SERVERS = 64
+
+#: Vector with every server bit set.
+FULL_MASK = (1 << MAX_SERVERS) - 1
+
+#: The empty vector.
+EMPTY = 0
+
+
+def bit(i: int) -> int:
+    """Return the vector containing only server *i*.
+
+    Raises ``ValueError`` when *i* is outside ``[0, 64)``; the 64-server
+    limit is a structural invariant of the cluster (64-ary tree), so an
+    out-of-range index is always a caller bug.
+    """
+    if not 0 <= i < MAX_SERVERS:
+        raise ValueError(f"server index {i} outside [0, {MAX_SERVERS})")
+    return 1 << i
+
+
+def has(vec: int, i: int) -> bool:
+    """True when server *i*'s bit is set in *vec*."""
+    return (vec >> i) & 1 == 1 if 0 <= i < MAX_SERVERS else False
+
+
+def set_bit(vec: int, i: int) -> int:
+    """Return *vec* with server *i*'s bit set."""
+    return vec | bit(i)
+
+
+def clear_bit(vec: int, i: int) -> int:
+    """Return *vec* with server *i*'s bit cleared."""
+    return vec & ~bit(i) & FULL_MASK
+
+
+def iter_bits(vec: int) -> Iterator[int]:
+    """Yield the server indices present in *vec*, ascending.
+
+    Runs in O(popcount) by repeatedly stripping the lowest set bit, which
+    matters for query flooding where vectors are usually sparse.
+    """
+    v = vec & FULL_MASK
+    while v:
+        low = v & -v
+        yield low.bit_length() - 1
+        v ^= low
+
+
+def count(vec: int) -> int:
+    """Number of servers present in *vec* (popcount)."""
+    return (vec & FULL_MASK).bit_count()
+
+
+def first_bit(vec: int) -> int:
+    """Lowest server index in *vec*, or -1 when the vector is empty."""
+    v = vec & FULL_MASK
+    if not v:
+        return -1
+    return (v & -v).bit_length() - 1
+
+
+def validate(vec: int) -> int:
+    """Check that *vec* is a legal 64-bit vector and return it.
+
+    Negative ints or ints wider than 64 bits indicate an arithmetic slip
+    somewhere upstream (typically a missing ``& FULL_MASK`` after ``~``).
+    """
+    if not isinstance(vec, int) or isinstance(vec, bool):
+        raise TypeError(f"vector must be int, got {type(vec).__name__}")
+    if vec < 0 or vec > FULL_MASK:
+        raise ValueError(f"vector {vec:#x} outside 64-bit range")
+    return vec
+
+
+def from_indices(indices) -> int:
+    """Build a vector from an iterable of server indices."""
+    vec = 0
+    for i in indices:
+        vec |= bit(i)
+    return vec
+
+
+def to_indices(vec: int) -> list[int]:
+    """List of server indices present in *vec*, ascending."""
+    return list(iter_bits(vec))
+
+
+def format_vec(vec: int) -> str:
+    """Human-readable rendering, e.g. ``{0,3,17}`` — used in logs and repr."""
+    return "{" + ",".join(str(i) for i in iter_bits(vec)) + "}"

@@ -1,0 +1,82 @@
+"""Fibonacci table-size ladder.
+
+The cmsd location cache sizes its hash table "to be a Fibonacci number of
+entries" and, when occupancy reaches 80%, grows to "the subsequent Fibonacci
+number" (paper §III-A1).  The authors report that CRC32 modulo a Fibonacci
+number disperses file names far more uniformly than CRC32 modulo a power of
+two (footnote 4) — powers of two simply mask off high-order bits, and CRC32's
+low bits are correlated for paths sharing suffixes, while a Fibonacci modulus
+involves every bit of the key.
+
+Because consecutive Fibonacci numbers grow by the golden ratio (~1.618), the
+resize schedule is geometric: resizing cost amortizes to O(1) per insert and
+the resize *rate* decays as the table grows, matching the paper's observation
+that "resizing ceases in a relatively short time".
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+__all__ = [
+    "fibonacci_numbers",
+    "next_fibonacci",
+    "is_fibonacci",
+    "DEFAULT_INITIAL_SIZE",
+    "GROWTH_THRESHOLD",
+]
+
+#: First table size used by a fresh cache.  Small enough that tests exercise
+#: several resizes cheaply; production cmsd starts larger but the ladder is
+#: identical from any rung up.
+DEFAULT_INITIAL_SIZE = 89
+
+#: Occupancy fraction that triggers growth (paper: 80%).
+GROWTH_THRESHOLD = 0.80
+
+
+def _fib_iter() -> Iterator[int]:
+    a, b = 1, 2
+    while True:
+        yield a
+        a, b = b, a + b
+
+
+def _build_ladder(limit: int) -> list[int]:
+    ladder = []
+    for f in _fib_iter():
+        ladder.append(f)
+        if f > limit:
+            break
+    return ladder
+
+
+# Precomputed well past any realistic table size (2^62 entries).
+_LADDER = _build_ladder(1 << 62)
+
+
+def fibonacci_numbers(limit: int) -> list[int]:
+    """All Fibonacci numbers ``<= limit`` (starting 1, 2, 3, 5, ...)."""
+    idx = bisect.bisect_right(_LADDER, limit)
+    return _LADDER[:idx]
+
+
+def next_fibonacci(n: int) -> int:
+    """Smallest Fibonacci number strictly greater than *n*.
+
+    This is the resize target: a table of ``F_k`` entries grows to
+    ``next_fibonacci(F_k) == F_{k+1}``.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    idx = bisect.bisect_right(_LADDER, n)
+    if idx >= len(_LADDER):
+        raise OverflowError(f"no precomputed Fibonacci number above {n}")
+    return _LADDER[idx]
+
+
+def is_fibonacci(n: int) -> bool:
+    """True when *n* is one of the ladder's Fibonacci numbers."""
+    idx = bisect.bisect_left(_LADDER, n)
+    return idx < len(_LADDER) and _LADDER[idx] == n

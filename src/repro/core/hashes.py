@@ -1,0 +1,61 @@
+"""Alternative string hashes, for the footnote-4 collision study (E3).
+
+The paper attributes the cache's dispersion to "CRC32 modulo a Fibonacci
+number" and reports "much higher collision rates with power-of-two sized
+tables".  Reproducing that with zlib's actual CRC32 turns out to be a
+*negative* result: CRC32's low bits are already well-mixed, and power-of-two
+masking performs on par with (sometimes better than) a Fibonacci modulus on
+structured HEP names.  The claimed effect appears as soon as the hash has
+correlated low bits — which classic accumulate-style string hashes (the
+family production XrdOucHash-era code descends from) very much do, because
+a constant file suffix like ``.root`` pins the final state's low bits.
+
+These three hashes span that spectrum:
+
+* :func:`java31` — multiply-by-31 accumulate; mildly correlated low bits.
+* :func:`sdbm` — shift-and-subtract accumulate; visibly correlated.
+* :func:`shift_add` — plain ``h = (h << 4) + c``; catastrophically
+  correlated (every name ending ``.root`` shares its low bits).
+
+Bench E3 sweeps hash × table-sizing and EXPERIMENTS.md reports where the
+paper's claim does and does not hold.
+"""
+
+from __future__ import annotations
+
+__all__ = ["java31", "sdbm", "shift_add", "ALL_HASHES"]
+
+_MASK = 0xFFFFFFFF
+
+
+def java31(name: str) -> int:
+    """Java's String.hashCode: ``h = 31 h + c`` (32-bit)."""
+    h = 0
+    for c in name.encode("utf-8"):
+        h = (h * 31 + c) & _MASK
+    return h
+
+
+def sdbm(name: str) -> int:
+    """The sdbm database hash: ``h = c + (h<<6) + (h<<16) - h``."""
+    h = 0
+    for c in name.encode("utf-8"):
+        h = (c + (h << 6) + (h << 16) - h) & _MASK
+    return h
+
+
+def shift_add(name: str) -> int:
+    """Naive shift-add accumulate: ``h = (h<<4) + c``.
+
+    After a constant 5-character suffix, the low ~20 bits depend only on
+    that suffix and the last few varying characters — the worst realistic
+    case for power-of-two masking.
+    """
+    h = 0
+    for c in name.encode("utf-8"):
+        h = ((h << 4) + c) & _MASK
+    return h
+
+
+#: name -> callable, for parameter sweeps.
+ALL_HASHES = {"java31": java31, "sdbm": sdbm, "shift_add": shift_add}

@@ -1,0 +1,163 @@
+"""The location hash table.
+
+"Location objects are cached in memory and are accessible by a one-level
+hash table using linear chaining to resolve collisions. ... The hash key is
+a CRC32 encoding of the file name.  The table itself is sized to be a
+Fibonacci number of entries.  When the number of entries reaches 80% of the
+table size, a new table is created whose size is the subsequent Fibonacci
+number and all of the keys are redistributed."  (paper §III-A1, Figure 2)
+
+This module implements exactly that table, specialized to
+:class:`~repro.core.location.LocationObject` values.  Buckets are Python
+lists (the "chains"); hidden objects — key length zero — remain chained
+until the eviction machinery physically unchains them, so lookups must skip
+them, and the growth trigger counts *chained* objects (live or hidden)
+because those are what occupy chain positions.
+
+Why Fibonacci and not 2^k?  With a power-of-two size the modulo keeps only
+the low bits of the CRC, which are correlated across the structured path
+names HEP produces; a Fibonacci modulus mixes every bit of the key.  Bench
+E3 (``benchmarks/bench_e3_fibonacci.py``) reproduces footnote 4's collision
+comparison against :mod:`repro.baselines.pow2table`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.core import fibonacci
+from repro.core.location import LocationObject
+
+__all__ = ["LocationTable"]
+
+
+class LocationTable:
+    """Fibonacci-sized, linearly chained table of location objects.
+
+    The table stores objects; it does not own their lifecycle (the cache's
+    free list does).  ``insert``/``remove`` take the object's ``hash_val``
+    as authoritative — callers computed it once and pass it along, matching
+    the paper's "file names and hash keys are passed along" streamlining.
+    """
+
+    def __init__(self, initial_size: int | None = None) -> None:
+        size = fibonacci.DEFAULT_INITIAL_SIZE if initial_size is None else initial_size
+        if not fibonacci.is_fibonacci(size):
+            raise ValueError(f"table size {size} is not a Fibonacci number")
+        self._buckets: list[list[LocationObject]] = [[] for _ in range(size)]
+        self._size = size
+        self._count = 0
+        #: Number of resize events performed (bench F2 reads this).
+        self.resizes = 0
+        #: Lookup probe statistics: chain positions examined, lookups served.
+        self.probes = 0
+        self.lookups = 0
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Current number of buckets (always a Fibonacci number)."""
+        return self._size
+
+    @property
+    def count(self) -> int:
+        """Number of chained objects, hidden ones included."""
+        return self._count
+
+    @property
+    def load_factor(self) -> float:
+        return self._count / self._size
+
+    # -- operations ---------------------------------------------------------
+
+    def find(self, key: str, hash_val: int) -> LocationObject | None:
+        """Return the visible object for *key*, or None.
+
+        Hidden objects in the chain are skipped — that is the whole point of
+        hide-by-zero-keylen: O(1) logical removal without disturbing the
+        chain structure under concurrent traversal.
+        """
+        self.lookups += 1
+        bucket = self._buckets[hash_val % self._size]
+        for pos, obj in enumerate(bucket):
+            if obj.matches(key, hash_val):
+                self.probes += pos + 1
+                return obj
+        self.probes += len(bucket)
+        return None
+
+    def insert(self, obj: LocationObject) -> None:
+        """Chain *obj* into the table, growing first if at the threshold.
+
+        The caller guarantees no visible duplicate of ``obj.key`` exists
+        (the cache's add path always looks up first).
+        """
+        if self._count + 1 > self._size * fibonacci.GROWTH_THRESHOLD:
+            self._grow()
+        self._buckets[obj.hash_val % self._size].append(obj)
+        self._count += 1
+
+    def remove(self, obj: LocationObject) -> bool:
+        """Physically unchain *obj*; True when it was present.
+
+        Identity comparison, not key comparison: by removal time the object
+        is normally hidden and its key may already describe nothing.
+        """
+        bucket = self._buckets[obj.hash_val % self._size]
+        for pos, candidate in enumerate(bucket):
+            if candidate is obj:
+                # Swap-with-last keeps removal O(1) within the chain; chain
+                # order is not meaningful to any algorithm here.
+                bucket[pos] = bucket[-1]
+                bucket.pop()
+                self._count -= 1
+                return True
+        return False
+
+    def __iter__(self) -> Iterator[LocationObject]:
+        """Iterate every chained object (hidden ones included)."""
+        for bucket in self._buckets:
+            yield from bucket
+
+    def visible(self) -> Iterator[LocationObject]:
+        """Iterate only objects findable by lookups."""
+        for bucket in self._buckets:
+            for obj in bucket:
+                if not obj.hidden:
+                    yield obj
+
+    def chain_lengths(self) -> list[int]:
+        """Length of every chain — the collision metric of bench E3."""
+        return [len(b) for b in self._buckets]
+
+    def mean_probe_length(self) -> float:
+        """Average chain positions examined per lookup so far."""
+        return self.probes / self.lookups if self.lookups else 0.0
+
+    # -- internals ---------------------------------------------------------
+
+    def _grow(self) -> None:
+        new_size = fibonacci.next_fibonacci(self._size)
+        new_buckets: list[list[LocationObject]] = [[] for _ in range(new_size)]
+        for bucket in self._buckets:
+            for obj in bucket:
+                new_buckets[obj.hash_val % new_size].append(obj)
+        self._buckets = new_buckets
+        self._size = new_size
+        self.resizes += 1
+
+    def check_invariants(self, on_object: Callable[[LocationObject], None] | None = None) -> None:
+        """Verify structural invariants; optionally run a per-object check."""
+        assert fibonacci.is_fibonacci(self._size)
+        total = 0
+        for idx, bucket in enumerate(self._buckets):
+            for obj in bucket:
+                assert obj.hash_val % self._size == idx, (
+                    f"object {obj.key!r} chained in bucket {idx}, "
+                    f"belongs in {obj.hash_val % self._size}"
+                )
+                if on_object is not None:
+                    on_object(obj)
+                total += 1
+        assert total == self._count, f"count {self._count} != chained {total}"

@@ -1,0 +1,260 @@
+"""The fast response queue.
+
+Scalla's request-rarely-respond protocol treats silence as "I don't have the
+file", which forces a conservative full wait (default 5 s) before declaring
+non-existence.  For files that *do* exist somewhere, waiting 5 s would be
+absurd when servers typically answer within ~100 µs.  The fast response
+queue (§III-B) closes that gap:
+
+* "The response queue is simply an array of 1024 anchors for a list of
+  response objects and the corresponding cache entry."
+* A location object carries two slot indices, ``R_r`` (readers) and ``R_w``
+  (writers).
+* The queue is **loosely coupled** to the cache: a slot may be reclaimed
+  asynchronously without fixing up the location object's reference; validity
+  is re-checked (stamps) whenever the reference is about to be used.
+* A dedicated clock removes any request older than one 133 ms period; such
+  clients fall back to the full 5 s wait-and-retry.  A server response
+  arriving within the period releases all waiting clients immediately.
+
+This module is thread-free and clock-agnostic like the rest of
+:mod:`repro.core`: the host calls :meth:`ResponseQueue.expire` from whatever
+plays the role of the response thread (a sim process in the cluster layer).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.location import NO_QUEUE, LocationObject
+
+__all__ = [
+    "AccessMode",
+    "Waiter",
+    "AddOutcome",
+    "ResponseQueue",
+    "DEFAULT_ANCHORS",
+    "DEFAULT_PERIOD",
+]
+
+#: Number of anchors in the response queue (paper: 1024).
+DEFAULT_ANCHORS = 1024
+
+#: Fast-response clocking period in seconds (paper: 133 ms).
+DEFAULT_PERIOD = 0.133
+
+
+class AccessMode:
+    """The two access modes distinguished by the queue (``R_r`` / ``R_w``)."""
+
+    READ = "r"
+    WRITE = "w"
+
+
+@dataclass
+class Waiter:
+    """One client waiting for a location answer.
+
+    ``payload`` is opaque to the queue — the cluster layer stores whatever
+    it needs to wake the client (a sim event, a callback, a request id).
+    ``server`` is filled in when a response releases the waiter; it stays
+    -1 on timeout.
+    """
+
+    payload: Any
+    enqueued_at: float
+    mode: str
+    server: int = -1
+
+
+@dataclass
+class AddOutcome:
+    """Result of :meth:`ResponseQueue.add_waiter`.
+
+    ``accepted`` False means all 1024 anchors were busy; the paper's
+    fallback applies ("the client is asked to wait a full time period and
+    retry").  ``queue_was_empty`` True means the caller should wake the
+    response clock — "the notification is only performed if the queue was
+    empty implying that the response queue thread is idle".
+    """
+
+    accepted: bool
+    queue_was_empty: bool = False
+
+
+@dataclass
+class _Anchor:
+    index: int
+    stamp: int = 0
+    in_use: bool = False
+    loc: LocationObject | None = None
+    loc_generation: int = -1
+    mode: str = AccessMode.READ
+    oldest: float = 0.0
+    waiters: list[Waiter] = field(default_factory=list)
+
+    def reclaim(self) -> list[Waiter]:
+        """Free the anchor, invalidating every outstanding reference to it."""
+        waiters, self.waiters = self.waiters, []
+        self.stamp += 1
+        self.in_use = False
+        self.loc = None
+        self.loc_generation = -1
+        return waiters
+
+
+class ResponseQueue:
+    """The 1024-anchor fast response queue with 133 ms expiry clocking."""
+
+    def __init__(self, anchors: int = DEFAULT_ANCHORS, period: float = DEFAULT_PERIOD) -> None:
+        if anchors < 1:
+            raise ValueError("need at least one anchor")
+        self._anchors = [_Anchor(index=i) for i in range(anchors)]
+        self._free: list[int] = list(range(anchors - 1, -1, -1))
+        #: (expiry check order) entries: (enqueued_at, anchor index, stamp).
+        self._timeline: deque[tuple[float, int, int]] = deque()
+        self.period = period
+        self._active = 0
+        # Statistics surfaced by bench E6.
+        self.fast_responses = 0
+        self.timeouts = 0
+        self.rejected = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def active_anchors(self) -> int:
+        return self._active
+
+    def pending_waiters(self) -> int:
+        return sum(len(a.waiters) for a in self._anchors if a.in_use)
+
+    # -- enqueue ---------------------------------------------------------------
+
+    def add_waiter(self, loc: LocationObject, mode: str, payload: Any, now: float) -> AddOutcome:
+        """Queue a client for the answer to *loc* under *mode*.
+
+        Joins the location object's existing anchor when its reference is
+        still valid; otherwise takes a fresh anchor and records the
+        association in the location object (``R_r`` or ``R_w``).
+        """
+        was_empty = self._active == 0
+        anchor = self._valid_anchor(loc, mode)
+        if anchor is None:
+            if not self._free:
+                self.rejected += 1
+                return AddOutcome(accepted=False)
+            anchor = self._anchors[self._free.pop()]
+            anchor.in_use = True
+            anchor.loc = loc
+            anchor.loc_generation = loc.generation
+            anchor.mode = mode
+            anchor.oldest = now
+            self._active += 1
+            self._timeline.append((now, anchor.index, anchor.stamp))
+            self._associate(loc, mode, anchor)
+        anchor.waiters.append(Waiter(payload=payload, enqueued_at=now, mode=mode))
+        return AddOutcome(accepted=True, queue_was_empty=was_empty)
+
+    # -- release paths ---------------------------------------------------------
+
+    def on_response(self, loc: LocationObject, server: int, *, write_capable: bool) -> list[Waiter]:
+        """Release waiters of *loc* now that *server* reported having it.
+
+        Readers are always releasable; writers only when the responding
+        server grants write access ("the access mode the server allows").
+        Returns the released waiters with ``server`` filled in; the caller
+        (the response thread in the paper) delivers the redirects.
+        """
+        released: list[Waiter] = []
+        modes = [AccessMode.READ] + ([AccessMode.WRITE] if write_capable else [])
+        for mode in modes:
+            anchor = self._valid_anchor(loc, mode)
+            if anchor is None:
+                continue
+            for w in anchor.waiters:
+                w.server = server
+                released.append(w)
+            anchor.reclaim()
+            self._active -= 1
+            self._free.append(anchor.index)
+            self._dissociate(loc, mode)
+        self.fast_responses += len(released)
+        return released
+
+    def expire(self, now: float) -> list[Waiter]:
+        """Remove every anchor older than one period; return its waiters.
+
+        Implements the response thread's clocking: "any request that has
+        been in the queue for longer than 133 ms is removed and the cache
+        association is invalidated".  Expired waiters keep ``server == -1``
+        — the caller imposes the full 5 s wait-and-retry on them.
+        """
+        cutoff = now - self.period
+        expired: list[Waiter] = []
+        while self._timeline and self._timeline[0][0] <= cutoff:
+            enq, idx, stamp = self._timeline.popleft()
+            anchor = self._anchors[idx]
+            if not anchor.in_use or anchor.stamp != stamp:
+                continue  # already released by a response
+            loc, mode = anchor.loc, anchor.mode
+            expired.extend(anchor.reclaim())
+            self._active -= 1
+            self._free.append(anchor.index)
+            if loc is not None:
+                self._dissociate(loc, mode)
+        self.timeouts += len(expired)
+        return expired
+
+    def next_expiry(self) -> float | None:
+        """Earliest time an active anchor can expire, or None when idle."""
+        while self._timeline:
+            enq, idx, stamp = self._timeline[0]
+            anchor = self._anchors[idx]
+            if anchor.in_use and anchor.stamp == stamp:
+                return enq + self.period
+            self._timeline.popleft()
+        return None
+
+    # -- association plumbing ----------------------------------------------------
+
+    def _valid_anchor(self, loc: LocationObject, mode: str) -> _Anchor | None:
+        """The anchor *loc* references for *mode*, iff still associated.
+
+        This is the loose-coupling check: the slot index stored in the
+        location object is trusted only when the anchor's stamp matches the
+        stamp recorded at association time and the anchor still points back
+        at this very object (same storage *and* same generation).
+        """
+        if mode == AccessMode.READ:
+            idx, stamp = loc.rq_read, loc.rq_read_stamp
+        else:
+            idx, stamp = loc.rq_write, loc.rq_write_stamp
+        if idx == NO_QUEUE:
+            return None
+        anchor = self._anchors[idx]
+        if (
+            anchor.in_use
+            and anchor.stamp == stamp
+            and anchor.loc is loc
+            and anchor.loc_generation == loc.generation
+            and anchor.mode == mode
+        ):
+            return anchor
+        return None
+
+    @staticmethod
+    def _associate(loc: LocationObject, mode: str, anchor: _Anchor) -> None:
+        if mode == AccessMode.READ:
+            loc.rq_read, loc.rq_read_stamp = anchor.index, anchor.stamp
+        else:
+            loc.rq_write, loc.rq_write_stamp = anchor.index, anchor.stamp
+
+    @staticmethod
+    def _dissociate(loc: LocationObject, mode: str) -> None:
+        if mode == AccessMode.READ:
+            loc.rq_read = NO_QUEUE
+        else:
+            loc.rq_write = NO_QUEUE

@@ -1,0 +1,127 @@
+"""Server selection policies.
+
+When more than one node can serve a file, "a selection is made based on
+configuration defined criteria (e.g., load, selection frequency, space,
+etc.)" (paper §II-B3).  This module implements those criteria over the
+64-bit candidate vectors.
+
+All policies are deterministic given their inputs (the random policy takes
+an explicit seeded RNG), which keeps cluster simulations reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core import bitvec
+
+__all__ = ["ServerMetrics", "SelectionPolicy", "RoundRobin", "LeastLoad", "MostSpace", "WeightedComposite", "RandomChoice"]
+
+
+@dataclass
+class ServerMetrics:
+    """Per-slot metrics a cmsd keeps about its subordinates.
+
+    ``load`` is an abstract utilization in [0, 1]; ``free_space`` is in
+    bytes; ``selections`` counts how often the slot has been chosen (the
+    paper's "selection frequency" criterion).
+    """
+
+    load: list[float] = field(default_factory=lambda: [0.0] * bitvec.MAX_SERVERS)
+    free_space: list[float] = field(default_factory=lambda: [0.0] * bitvec.MAX_SERVERS)
+    selections: list[int] = field(default_factory=lambda: [0] * bitvec.MAX_SERVERS)
+
+    def record_selection(self, slot: int) -> None:
+        self.selections[slot] += 1
+
+
+class SelectionPolicy:
+    """Base class: choose one slot out of a candidate vector."""
+
+    def choose(self, candidates: int, metrics: ServerMetrics) -> int:
+        """Return the chosen slot index; raises on an empty vector.
+
+        Subclasses implement :meth:`_score`; lower score wins, ties broken
+        by slot index for determinism.
+        """
+        best = -1
+        best_score = None
+        for slot in bitvec.iter_bits(candidates):
+            score = self._score(slot, metrics)
+            if best_score is None or score < best_score:
+                best, best_score = slot, score
+        if best < 0:
+            raise ValueError("cannot select from an empty candidate vector")
+        metrics.record_selection(best)
+        return best
+
+    def _score(self, slot: int, metrics: ServerMetrics) -> float:
+        raise NotImplementedError
+
+
+class RoundRobin(SelectionPolicy):
+    """Pick the least-recently/least-often selected slot.
+
+    With equal traffic this degenerates to strict rotation, which is the
+    default cmsd behaviour.
+    """
+
+    def _score(self, slot: int, metrics: ServerMetrics) -> float:
+        return float(metrics.selections[slot])
+
+
+class LeastLoad(SelectionPolicy):
+    """Pick the slot reporting the lowest load."""
+
+    def _score(self, slot: int, metrics: ServerMetrics) -> float:
+        return metrics.load[slot]
+
+
+class MostSpace(SelectionPolicy):
+    """Pick the slot with the most free space (for writes/creates)."""
+
+    def _score(self, slot: int, metrics: ServerMetrics) -> float:
+        return -metrics.free_space[slot]
+
+
+class WeightedComposite(SelectionPolicy):
+    """Configurable blend of load, selection frequency, and space.
+
+    Mirrors cmsd's ``cms.sched`` weighting: each criterion is normalized to
+    [0, 1] across the candidate set's plausible ranges and combined with the
+    given weights.  Space contributes negatively (more space → better).
+    """
+
+    def __init__(self, w_load: float = 1.0, w_freq: float = 0.0, w_space: float = 0.0) -> None:
+        total = w_load + w_freq + w_space
+        if total <= 0:
+            raise ValueError("at least one weight must be positive")
+        self.w_load = w_load / total
+        self.w_freq = w_freq / total
+        self.w_space = w_space / total
+
+    def _score(self, slot: int, metrics: ServerMetrics) -> float:
+        freq = metrics.selections[slot]
+        freq_norm = freq / (1.0 + freq)
+        space = metrics.free_space[slot]
+        space_norm = 1.0 / (1.0 + space)
+        return self.w_load * metrics.load[slot] + self.w_freq * freq_norm + self.w_space * space_norm
+
+
+class RandomChoice(SelectionPolicy):
+    """Uniform random choice with an injected RNG (determinism in sims)."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def choose(self, candidates: int, metrics: ServerMetrics) -> int:
+        slots = bitvec.to_indices(candidates)
+        if not slots:
+            raise ValueError("cannot select from an empty candidate vector")
+        slot = self._rng.choice(slots)
+        metrics.record_selection(slot)
+        return slot
+
+    def _score(self, slot: int, metrics: ServerMetrics) -> float:  # pragma: no cover
+        raise NotImplementedError("RandomChoice overrides choose()")

@@ -1,0 +1,25 @@
+"""Qserv-style distributed dispatch over the Scalla file abstraction (§IV-B):
+sky partitioning, a toy shared-nothing query engine, chunk-hosting workers,
+and the scatter/gather master that needs no worker configuration at all."""
+
+from repro.qserv.engine import ChunkTable, Query, QueryResult, Row, make_catalog_chunk
+from repro.qserv.master import QservMaster, QservMasterConfig, QueryOutcome
+from repro.qserv.partition import SkyPartitioner, chunk_path, query_path, result_path
+from repro.qserv.worker import QservWorker, QservWorkerConfig
+
+__all__ = [
+    "Query",
+    "QueryResult",
+    "Row",
+    "ChunkTable",
+    "make_catalog_chunk",
+    "QservMaster",
+    "QservMasterConfig",
+    "QueryOutcome",
+    "QservWorker",
+    "QservWorkerConfig",
+    "SkyPartitioner",
+    "chunk_path",
+    "query_path",
+    "result_path",
+]

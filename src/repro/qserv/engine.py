@@ -1,0 +1,175 @@
+"""A toy shared-nothing query engine.
+
+Qserv used MySQL as its per-worker query engine (§IV-B); the dispatch
+experiment only needs a worker to take real per-row time answering real
+queries over its chunk, so this module provides a miniature columnar
+executor over synthetic astronomical rows: point lookups, box scans, and
+aggregates — the paper's "quick retrieval" and "summaries over all records"
+workload classes.
+
+Queries and results serialize to JSON because they travel as file contents
+through Scalla.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["Row", "Query", "QueryResult", "ChunkTable", "make_catalog_chunk"]
+
+
+@dataclass(frozen=True)
+class Row:
+    """One celestial object."""
+
+    object_id: int
+    ra: float
+    dec: float
+    mag: float
+
+
+@dataclass(frozen=True)
+class Query:
+    """A chunk-level query.
+
+    kinds:
+      * ``point`` — fetch one object by id (quick retrieval),
+      * ``scan``  — objects within [ra/dec box] and mag <= mag_max,
+      * ``count`` / ``mean_mag`` — aggregates over the same predicate.
+    """
+
+    kind: str
+    object_id: int | None = None
+    ra_min: float = 0.0
+    ra_max: float = 360.0
+    dec_min: float = -90.0
+    dec_max: float = 90.0
+    mag_max: float = 99.0
+
+    KINDS = ("point", "scan", "count", "mean_mag")
+
+    def to_bytes(self) -> bytes:
+        return json.dumps(vars(self)).encode()
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "Query":
+        obj = json.loads(data.decode())
+        q = Query(**obj)
+        if q.kind not in Query.KINDS:
+            raise ValueError(f"unknown query kind {q.kind!r}")
+        return q
+
+
+@dataclass
+class QueryResult:
+    """A chunk-level result, mergeable across chunks."""
+
+    kind: str
+    rows: list[tuple] = field(default_factory=list)
+    count: int = 0
+    mag_sum: float = 0.0
+    rows_scanned: int = 0
+
+    def to_bytes(self) -> bytes:
+        return json.dumps(
+            {
+                "kind": self.kind,
+                "rows": self.rows,
+                "count": self.count,
+                "mag_sum": self.mag_sum,
+                "rows_scanned": self.rows_scanned,
+            }
+        ).encode()
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "QueryResult":
+        obj = json.loads(data.decode())
+        obj["rows"] = [tuple(r) for r in obj["rows"]]
+        return QueryResult(**obj)
+
+    @staticmethod
+    def merge(results: list["QueryResult"]) -> "QueryResult":
+        """Combine chunk results into the global answer."""
+        if not results:
+            return QueryResult(kind="empty")
+        merged = QueryResult(kind=results[0].kind)
+        for r in results:
+            merged.rows.extend(r.rows)
+            merged.count += r.count
+            merged.mag_sum += r.mag_sum
+            merged.rows_scanned += r.rows_scanned
+        return merged
+
+    @property
+    def mean_mag(self) -> float:
+        if self.count == 0:
+            raise ValueError("no rows matched")
+        return self.mag_sum / self.count
+
+
+class ChunkTable:
+    """One worker's slice of the catalog, with an object-id index."""
+
+    def __init__(self, rows: list[Row]) -> None:
+        self.rows = rows
+        self._by_id = {r.object_id: r for r in rows}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def execute(self, q: Query) -> QueryResult:
+        if q.kind == "point":
+            row = self._by_id.get(q.object_id)
+            res = QueryResult(kind="point", rows_scanned=1)
+            if row is not None:
+                res.rows.append((row.object_id, row.ra, row.dec, row.mag))
+                res.count = 1
+            return res
+
+        res = QueryResult(kind=q.kind)
+        for row in self.rows:
+            res.rows_scanned += 1
+            if not (q.ra_min <= row.ra <= q.ra_max and q.dec_min <= row.dec <= q.dec_max):
+                continue
+            if row.mag > q.mag_max:
+                continue
+            res.count += 1
+            res.mag_sum += row.mag
+            if q.kind == "scan":
+                res.rows.append((row.object_id, row.ra, row.dec, row.mag))
+        return res
+
+
+def make_catalog_chunk(
+    partition: int,
+    *,
+    partitioner,
+    rows: int,
+    rng: random.Random,
+    id_base: int = 0,
+) -> ChunkTable:
+    """Synthesize *rows* objects whose coordinates fall inside *partition*.
+
+    Rejection sampling against the partitioner keeps the chunk spatially
+    honest: a box query's chunk pruning then returns exactly the right
+    answers, which the tests verify against a flat full scan.
+    """
+    out: list[Row] = []
+    attempts = 0
+    while len(out) < rows:
+        ra = rng.uniform(0, 360 - 1e-9)
+        dec = rng.uniform(-90, 90 - 1e-9)
+        attempts += 1
+        if partitioner.chunk_of(ra, dec) != partition:
+            continue
+        out.append(
+            Row(
+                object_id=id_base + len(out),
+                ra=ra,
+                dec=dec,
+                mag=rng.uniform(10.0, 30.0),
+            )
+        )
+    return ChunkTable(out)

@@ -1,0 +1,81 @@
+"""Spatial partitioning for the Qserv catalog.
+
+LSST's catalog is sky-partitioned into *chunks*; Qserv workers "report
+their data availability by 'publishing' or 'exporting' paths that include a
+partition number" (§IV-B).  This module maps sky coordinates to chunk
+numbers (a simple declination/right-ascension grid — the real scheme's
+spherical subtleties carry no load here) and chunk numbers to the Scalla
+paths that address them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SkyPartitioner", "chunk_path", "query_path", "result_path"]
+
+
+def chunk_path(partition: int) -> str:
+    """The published path whose *open* reaches a worker hosting the chunk."""
+    return f"/qserv/chunk/{partition:05d}"
+
+
+def query_path(partition: int, query_id: int) -> str:
+    """Where a master writes the query payload for one chunk."""
+    return f"/qserv/chunk/{partition:05d}/q{query_id:08d}.query"
+
+
+def result_path(partition: int, query_id: int) -> str:
+    """Where the worker deposits that chunk's result."""
+    return f"/qserv/chunk/{partition:05d}/q{query_id:08d}.result"
+
+
+@dataclass(frozen=True)
+class SkyPartitioner:
+    """A (ra, dec) grid partitioner.
+
+    ra in [0, 360), dec in [-90, 90); ``ra_stripes`` × ``dec_stripes``
+    chunks, numbered row-major by dec stripe then ra stripe.
+    """
+
+    ra_stripes: int = 8
+    dec_stripes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.ra_stripes < 1 or self.dec_stripes < 1:
+            raise ValueError("stripe counts must be positive")
+
+    @property
+    def n_chunks(self) -> int:
+        return self.ra_stripes * self.dec_stripes
+
+    def chunk_of(self, ra: float, dec: float) -> int:
+        if not 0 <= ra < 360:
+            raise ValueError(f"ra {ra} outside [0, 360)")
+        if not -90 <= dec < 90:
+            raise ValueError(f"dec {dec} outside [-90, 90)")
+        ri = int(ra / 360 * self.ra_stripes)
+        di = int((dec + 90) / 180 * self.dec_stripes)
+        return di * self.ra_stripes + ri
+
+    def chunks_overlapping(self, ra_min: float, ra_max: float, dec_min: float, dec_max: float) -> list[int]:
+        """Chunks intersecting a search box — drives partial-sky queries.
+
+        The box is inclusive of its edges; ra wrap-around is not supported
+        (callers split wrapped boxes).
+        """
+        if ra_min > ra_max or dec_min > dec_max:
+            raise ValueError("empty box")
+        eps = 1e-9
+        lo = self.chunk_of(max(ra_min, 0.0), max(dec_min, -90.0))
+        hi = self.chunk_of(min(ra_max, 360 - eps), min(dec_max, 90 - eps))
+        ri_lo, di_lo = lo % self.ra_stripes, lo // self.ra_stripes
+        ri_hi, di_hi = hi % self.ra_stripes, hi // self.ra_stripes
+        return [
+            di * self.ra_stripes + ri
+            for di in range(di_lo, di_hi + 1)
+            for ri in range(ri_lo, ri_hi + 1)
+        ]
+
+    def all_chunks(self) -> list[int]:
+        return list(range(self.n_chunks))

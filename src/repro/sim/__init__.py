@@ -1,0 +1,44 @@
+"""Discrete-event simulation substrate (built from scratch for this repo).
+
+Provides the deterministic virtual-time world the cluster experiments run
+in: a generator-based process kernel, mailboxes and semaphores, a message
+network with latency models and partitions, failure injection, and
+measurement helpers.
+"""
+
+from repro.sim.errors import Interrupt, SimError, StopSimulation
+from repro.sim.failures import FailureEvent, FailureInjector, random_crash_schedule
+from repro.sim.kernel import AllOf, AnyOf, Event, Process, Simulator, Timeout
+from repro.sim.latency import Empirical, Fixed, LatencyModel, LogNormal, Uniform
+from repro.sim.monitor import Histogram, Summary, TimeSeries
+from repro.sim.network import Envelope, Host, Network, NetworkStats
+from repro.sim.sync import Resource, Store
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimError",
+    "StopSimulation",
+    "Store",
+    "Resource",
+    "Network",
+    "Host",
+    "Envelope",
+    "NetworkStats",
+    "LatencyModel",
+    "Fixed",
+    "Uniform",
+    "LogNormal",
+    "Empirical",
+    "Histogram",
+    "TimeSeries",
+    "Summary",
+    "FailureEvent",
+    "FailureInjector",
+    "random_crash_schedule",
+]

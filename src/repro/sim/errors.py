@@ -1,0 +1,26 @@
+"""Exceptions for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+__all__ = ["SimError", "Interrupt", "StopSimulation"]
+
+
+class SimError(Exception):
+    """Base class for simulation kernel errors."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    ``cause`` carries whatever the interrupter passed — failure injection
+    uses it to say *why* (e.g. ``"crash"``), letting node processes
+    distinguish a simulated power loss from an orderly shutdown.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Simulator.run` early."""

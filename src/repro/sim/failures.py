@@ -1,0 +1,112 @@
+"""Failure injection schedules.
+
+Recoverability is one of Scalla's three design objectives, so the
+integration tests and churn experiment (E12) drive clusters through scripted
+and randomized failure schedules: host crashes (process interrupted, network
+delivery stops), restarts, and link partitions.
+
+The injector is deliberately dumb: it executes a schedule against the
+network and a callback table.  Deciding *what the cluster should do about
+it* (disconnect → drop timers, re-login) belongs to the cluster layer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+
+__all__ = ["FailureEvent", "FailureInjector", "random_crash_schedule"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled action.
+
+    ``kind`` is one of ``crash``, ``restart``, ``partition``, ``heal``;
+    ``target`` is a host name (crash/restart) or an ``(a, b)`` pair.
+    """
+
+    at: float
+    kind: str
+    target: object
+
+    KINDS = ("crash", "restart", "partition", "heal")
+
+
+class FailureInjector:
+    """Executes :class:`FailureEvent` schedules as simulation processes.
+
+    ``on_crash`` / ``on_restart`` hooks let the cluster layer interrupt the
+    node's daemon processes and re-run its login sequence — the network
+    alone cannot know which processes animate a host.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        *,
+        on_crash: Callable[[str], None] | None = None,
+        on_restart: Callable[[str], None] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.on_crash = on_crash
+        self.on_restart = on_restart
+        self.executed: list[FailureEvent] = []
+
+    def schedule(self, events: list[FailureEvent]) -> None:
+        for ev in sorted(events, key=lambda e: e.at):
+            if ev.kind not in FailureEvent.KINDS:
+                raise ValueError(f"unknown failure kind {ev.kind!r}")
+            self.sim.process(self._execute(ev), name=f"failure:{ev.kind}@{ev.at}")
+
+    def _execute(self, ev: FailureEvent):
+        yield self.sim.timeout(ev.at - self.sim.now)
+        if ev.kind == "crash":
+            self.network.kill(ev.target)
+            if self.on_crash is not None:
+                self.on_crash(ev.target)
+        elif ev.kind == "restart":
+            self.network.revive(ev.target)
+            if self.on_restart is not None:
+                self.on_restart(ev.target)
+        elif ev.kind == "partition":
+            a, b = ev.target
+            self.network.partition(a, b)
+        elif ev.kind == "heal":
+            a, b = ev.target
+            self.network.heal(a, b)
+        self.executed.append(ev)
+
+
+def random_crash_schedule(
+    rng: random.Random,
+    hosts: list[str],
+    *,
+    horizon: float,
+    crashes: int,
+    min_downtime: float,
+    max_downtime: float,
+) -> list[FailureEvent]:
+    """Generate crash/restart pairs for random hosts over [0, horizon].
+
+    Restart times are clamped to the horizon so every crashed host comes
+    back before the scenario ends — the churn experiment asserts full
+    recovery, which needs all servers eventually online.
+    """
+    if min_downtime > max_downtime:
+        raise ValueError("min_downtime > max_downtime")
+    events: list[FailureEvent] = []
+    for _ in range(crashes):
+        host = rng.choice(hosts)
+        at = rng.uniform(0, horizon * 0.7)
+        downtime = rng.uniform(min_downtime, max_downtime)
+        back = min(at + downtime, horizon)
+        events.append(FailureEvent(at=at, kind="crash", target=host))
+        events.append(FailureEvent(at=back, kind="restart", target=host))
+    return sorted(events, key=lambda e: e.at)

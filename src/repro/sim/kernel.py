@@ -1,0 +1,352 @@
+"""A deterministic discrete-event simulation kernel.
+
+The cluster experiments need thousand-client concurrency, microsecond
+latencies and reproducible failure schedules — none of which are practical
+(or convincing) with real threads and real sockets in Python.  No DES
+library is available offline, so this module implements one from scratch in
+the style of SimPy: *processes* are plain generators that ``yield`` the
+events they wait on, and a single-threaded scheduler advances a virtual
+clock from event to event.
+
+Design rules:
+
+* **Determinism.**  The event heap is ordered by ``(time, sequence)``;
+  simultaneous events fire in scheduling order.  All randomness enters
+  through explicitly seeded ``random.Random`` instances owned by the caller.
+* **No wall clock.**  ``sim.now`` is the only time there is.  Virtual time
+  advances instantaneously between events, so an 8-hour cache lifetime costs
+  nothing to simulate.
+* **Small surface.**  Processes wait on: a :class:`Timeout`, another
+  :class:`Process` (join), a bare :class:`Event` (signal), or the composite
+  :class:`AnyOf` / :class:`AllOf`.  That is enough to express every protocol
+  in the paper.
+
+Example::
+
+    sim = Simulator()
+
+    def pinger():
+        yield sim.timeout(1.0)
+        return "pong"
+
+    def waiter():
+        result = yield sim.process(pinger())
+        assert sim.now == 1.0 and result == "pong"
+
+    sim.process(waiter())
+    sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+from repro.sim.errors import Interrupt, SimError, StopSimulation
+
+__all__ = ["Event", "Timeout", "Process", "AnyOf", "AllOf", "Simulator"]
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    Events start *pending*; :meth:`succeed` or :meth:`fail` triggers them,
+    after which every waiting callback runs at the current simulation time.
+    Triggering twice is an error — it would mean two owners disagree about
+    what happened.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = _PENDING
+        self._exception: BaseException | None = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def value(self) -> Any:
+        if self._exception is not None:
+            raise self._exception
+        if self._value is _PENDING:
+            raise SimError("event value read before trigger")
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        """True when triggered successfully (safe to read ``value``)."""
+        return self._value is not _PENDING and self._exception is None
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimError("event already triggered")
+        self._value = value
+        self.sim._enqueue(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise SimError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._exception = exception
+        self.sim._enqueue(self)
+        return self
+
+    def _fire(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None, "event fired twice"
+        for cb in callbacks:
+            cb(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimError(f"negative timeout {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        # The value is deferred until the heap pops us: a Timeout must not
+        # look triggered before its time arrives (AnyOf inspects children).
+        self._pending_value = value
+        sim._enqueue(self, delay)
+
+    def _fire(self) -> None:
+        self._value = self._pending_value
+        super()._fire()
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns.
+
+    The generator yields events; when a yielded event triggers, the
+    generator resumes with the event's value (or the event's exception is
+    thrown into it).  The process's own event value is the generator's
+    return value, so ``result = yield sim.process(g())`` both joins and
+    collects.
+    """
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str | None = None) -> None:
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process body must be a generator, got {type(gen).__name__}")
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Event | None = None
+        # Kick off at the current time, before any already-scheduled event
+        # at a *later* time but after events already queued for now.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        A dead process is left alone (interrupting a finished server during
+        teardown should be a no-op, not a crash).
+        """
+        if not self.is_alive:
+            return
+        poke = Event(self.sim)
+        poke.callbacks.append(lambda _e: self._throw(Interrupt(cause)))
+        poke.succeed()
+
+    # -- internals ---------------------------------------------------------
+
+    def _resume(self, trigger: Event) -> None:
+        if self.triggered:
+            return  # interrupted to death while this wakeup was in flight
+        self._waiting_on = None
+        try:
+            if trigger._exception is not None:
+                target = self.gen.throw(trigger._exception)
+            else:
+                target = self.gen.send(trigger._value if trigger._value is not _PENDING else None)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process died; propagate via event
+            self.fail(exc)
+            return
+        self._wait_on(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        # Detach from whatever we were waiting on; its later trigger must
+        # not resume us twice.
+        waiting = self._waiting_on
+        self._waiting_on = None
+        if waiting is not None and waiting.callbacks is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        try:
+            target = self.gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001
+            self.fail(err)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self._throw(SimError(f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        if target.sim is not self.sim:
+            self._throw(SimError("yielded event belongs to a different simulator"))
+            return
+        self._waiting_on = target
+        if target.callbacks is None:
+            # Already processed: resume immediately (at the current time).
+            poke = Event(self.sim)
+            poke._value = target._value
+            poke._exception = target._exception
+            poke.callbacks.append(self._resume)
+            self.sim._enqueue(poke)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Shared machinery for AnyOf/AllOf."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            self.succeed({})
+            return
+        self._pending = len(self.events)
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._on_child(ev)
+            else:
+                ev.callbacks.append(self._on_child)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events if ev.ok}
+
+    def _on_child(self, ev: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers when the first of its events does (value: dict of done)."""
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exception is not None:
+            self.fail(ev._exception)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers when all of its events have (value: dict of all values)."""
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exception is not None:
+            self.fail(ev._exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of triggered events."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str | None = None) -> Process:
+        return Process(self, gen, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- running -----------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        when, _seq, event = heapq.heappop(self._heap)
+        assert when >= self._now, "time went backwards"
+        self._now = when
+        self.events_processed += 1
+        event._fire()
+
+    def run(self, until: float | None = None) -> None:
+        """Run until the heap drains or the clock passes *until*.
+
+        With *until* given, the clock is left exactly at *until* (events
+        scheduled later stay queued), which makes staged test scenarios
+        ("run 5 simulated seconds, assert, run more") straightforward.
+        """
+        try:
+            while self._heap:
+                when = self._heap[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    return
+                self.step()
+        except StopSimulation:
+            return
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_until_process(self, proc: Process, limit: float | None = None) -> Any:
+        """Run until *proc* finishes; return its value (raising its error).
+
+        ``limit`` bounds simulated time as a safety net against deadlocked
+        protocols in tests.
+        """
+        while not proc.triggered:
+            if not self._heap:
+                raise SimError(f"deadlock: {proc.name!r} waits but no events remain")
+            if limit is not None and self._heap[0][0] > limit:
+                raise SimError(f"time limit {limit} exceeded waiting for {proc.name!r}")
+            self.step()
+        return proc.value

@@ -1,0 +1,125 @@
+"""Measurement utilities: histograms, time series, summaries.
+
+Every experiment reports through these so EXPERIMENTS.md rows share one
+vocabulary (count / mean / p50 / p95 / p99 / max).  Percentiles use the
+nearest-rank method on the sorted sample — simple, exact, and adequate for
+the sample sizes the benches produce.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Histogram", "TimeSeries", "Summary"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def format(self, scale: float = 1.0, unit: str = "") -> str:
+        if self.count == 0:
+            return "n=0"
+        return (
+            f"n={self.count} mean={self.mean * scale:.2f}{unit} "
+            f"p50={self.p50 * scale:.2f}{unit} p95={self.p95 * scale:.2f}{unit} "
+            f"p99={self.p99 * scale:.2f}{unit} max={self.maximum * scale:.2f}{unit}"
+        )
+
+
+class Histogram:
+    """An accumulating sample with percentile queries."""
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+        self._sorted = True
+
+    def record(self, value: float) -> None:
+        self._values.append(value)
+        self._sorted = False
+
+    def extend(self, values) -> None:
+        self._values.extend(values)
+        self._sorted = False
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, p in [0, 100]."""
+        if not self._values:
+            raise ValueError("empty histogram")
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        self._ensure_sorted()
+        if p == 0:
+            return self._values[0]
+        rank = math.ceil(p / 100 * len(self._values))
+        return self._values[rank - 1]
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            raise ValueError("empty histogram")
+        return sum(self._values) / len(self._values)
+
+    def summary(self) -> Summary:
+        if not self._values:
+            return Summary(0, math.nan, math.nan, math.nan, math.nan, math.nan, math.nan)
+        self._ensure_sorted()
+        return Summary(
+            count=len(self._values),
+            mean=self.mean,
+            p50=self.percentile(50),
+            p95=self.percentile(95),
+            p99=self.percentile(99),
+            minimum=self._values[0],
+            maximum=self._values[-1],
+        )
+
+
+@dataclass
+class TimeSeries:
+    """(time, value) pairs — cache population over time, load curves, etc."""
+
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, t: float, v: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError("time series must be recorded in time order")
+        self.times.append(t)
+        self.values.append(v)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def last(self) -> float:
+        if not self.values:
+            raise ValueError("empty series")
+        return self.values[-1]
+
+    def max(self) -> float:
+        return max(self.values)
+
+    def steady_state_mean(self, skip_fraction: float = 0.5) -> float:
+        """Mean of the tail of the series (warm-up skipped)."""
+        if not self.values:
+            raise ValueError("empty series")
+        start = int(len(self.values) * skip_fraction)
+        tail = self.values[start:] or self.values[-1:]
+        return sum(tail) / len(tail)

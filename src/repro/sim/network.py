@@ -1,0 +1,188 @@
+"""The simulated network: hosts, links, partitions, and message delivery.
+
+A :class:`Host` is a named endpoint with an inbox (:class:`~repro.sim.sync.Store`);
+daemons loop on the inbox.  The :class:`Network` delivers messages between
+hosts after a sampled link latency, drops traffic to dead or partitioned
+hosts, and counts everything — message counts are primary data for the
+protocol-efficiency experiment (E7) and the registration experiment (E11).
+
+Message payloads are opaque to the network; the cluster layer defines its
+own message dataclasses (:mod:`repro.cluster.protocol`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.kernel import Simulator
+from repro.sim.latency import Fixed, LatencyModel
+from repro.sim.sync import Store
+
+__all__ = ["Host", "Envelope", "NetworkStats", "Network"]
+
+
+@dataclass
+class Envelope:
+    """A message in flight / delivered."""
+
+    src: str
+    dst: str
+    payload: Any
+    sent_at: float
+    delivered_at: float = -1.0
+
+    @property
+    def latency(self) -> float:
+        return self.delivered_at - self.sent_at
+
+
+@dataclass
+class NetworkStats:
+    sent: int = 0
+    delivered: int = 0
+    dropped_dead: int = 0
+    dropped_partition: int = 0
+    bytes_sent: int = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_dead + self.dropped_partition
+
+
+class Host:
+    """A network endpoint.  ``alive`` gates delivery; daemons also watch it."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.inbox = Store(sim)
+        self.alive = True
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"<Host {self.name} {state}>"
+
+
+class Network:
+    """Delivers messages between registered hosts.
+
+    Per-link latency overrides allow modelling WAN federations (a manager in
+    one country, servers in another — §IV-A's deployments); the default
+    model applies everywhere else.  Partitions are symmetric: a partitioned
+    pair drops traffic both ways, which is how the failure-injection
+    experiments model switch failures distinct from host crashes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        default_latency: LatencyModel | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.sim = sim
+        self.default_latency = default_latency if default_latency is not None else Fixed(10e-6)
+        self.rng = rng if rng is not None else random.Random(0)
+        self.hosts: dict[str, Host] = {}
+        self._link_latency: dict[tuple[str, str], LatencyModel] = {}
+        self._host_site: dict[str, str] = {}
+        self._site_latency: dict[frozenset[str], LatencyModel] = {}
+        self._partitioned: set[frozenset[str]] = set()
+        self.stats = NetworkStats()
+
+    # -- topology management -------------------------------------------------
+
+    def add_host(self, name: str) -> Host:
+        if name in self.hosts:
+            raise ValueError(f"duplicate host {name!r}")
+        host = Host(self.sim, name)
+        self.hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    def set_link_latency(self, a: str, b: str, model: LatencyModel) -> None:
+        """Override latency for the (symmetric) link a<->b."""
+        self._link_latency[(a, b)] = model
+        self._link_latency[(b, a)] = model
+
+    def set_host_site(self, host: str, site: str) -> None:
+        """Place *host* at a named site (WAN federation modelling, §IV-A)."""
+        if host not in self.hosts:
+            raise KeyError(f"unknown host {host!r}")
+        self._host_site[host] = site
+
+    def set_site_latency(self, a: str, b: str, model: LatencyModel) -> None:
+        """One-way latency between sites *a* and *b* (symmetric)."""
+        self._site_latency[frozenset((a, b))] = model
+
+    def site_of(self, host: str) -> str | None:
+        return self._host_site.get(host)
+
+    def latency_model(self, src: str, dst: str) -> LatencyModel:
+        """Resolution order: explicit link override, then the site pair
+        (when both hosts are placed at different sites), then the default."""
+        override = self._link_latency.get((src, dst))
+        if override is not None:
+            return override
+        s_src, s_dst = self._host_site.get(src), self._host_site.get(dst)
+        if s_src is not None and s_dst is not None and s_src != s_dst:
+            site_model = self._site_latency.get(frozenset((s_src, s_dst)))
+            if site_model is not None:
+                return site_model
+        return self.default_latency
+
+    # -- failures ------------------------------------------------------------
+
+    def kill(self, name: str) -> None:
+        """Mark a host dead: in-flight and future messages to it vanish."""
+        self.hosts[name].alive = False
+
+    def revive(self, name: str) -> None:
+        self.hosts[name].alive = True
+
+    def partition(self, a: str, b: str) -> None:
+        self._partitioned.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitioned.discard(frozenset((a, b)))
+
+    def partitioned(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._partitioned
+
+    # -- the data path ---------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any, *, size: int = 0) -> bool:
+        """Queue *payload* for delivery; returns False when dropped now.
+
+        Drops are silent to the sender (as on a real network); the return
+        value exists only for tests.  A message to a host that dies while
+        the message is in flight is also lost — checked again at delivery.
+        """
+        self.stats.sent += 1
+        self.stats.bytes_sent += size
+        if self.partitioned(src, dst):
+            self.stats.dropped_partition += 1
+            return False
+        target = self.hosts[dst]
+        if not target.alive:
+            self.stats.dropped_dead += 1
+            return False
+        env = Envelope(src=src, dst=dst, payload=payload, sent_at=self.sim.now)
+        delay = self.latency_model(src, dst).sample(self.rng)
+
+        def deliver():
+            yield self.sim.timeout(delay)
+            if not target.alive or self.partitioned(src, dst):
+                self.stats.dropped_dead += not target.alive
+                self.stats.dropped_partition += target.alive
+                return
+            env.delivered_at = self.sim.now
+            self.stats.delivered += 1
+            target.inbox.put(env)
+
+        self.sim.process(deliver(), name=f"deliver:{src}->{dst}")
+        return True

@@ -1,0 +1,113 @@
+"""Synchronization primitives for simulation processes.
+
+Two primitives cover everything the cluster layer needs:
+
+* :class:`Store` — an unbounded FIFO mailbox.  Every daemon (cmsd, xrootd,
+  client) is a process looping on ``msg = yield inbox.get()``.
+* :class:`Resource` — a counting semaphore used to model finite server
+  capacity (disk streams, CPU slots) so load experiments produce queueing
+  rather than infinite parallelism.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.kernel import Event, Simulator
+
+__all__ = ["Store", "Resource"]
+
+
+class Store:
+    """Unbounded FIFO of items; ``get`` events fire in request order.
+
+    Items put while getters wait are handed over immediately (at the same
+    simulated time); otherwise they queue.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit *item*; wakes the oldest waiting getter, if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue  # getter was interrupted/abandoned
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Event yielding the next item (immediately if one is queued)."""
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def drain(self) -> list[Any]:
+        """Remove and return all queued items without waiting."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+
+class Resource:
+    """Counting semaphore with FIFO granting.
+
+    Usage::
+
+        grant = yield resource.acquire()
+        try:
+            ...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return sum(1 for w in self._waiters if not w.triggered)
+
+    @property
+    def utilization(self) -> float:
+        return self._in_use / self.capacity
+
+    def acquire(self) -> Event:
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError("release without acquire")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.triggered:
+                continue
+            waiter.succeed()  # hand the slot straight over
+            return
+        self._in_use -= 1

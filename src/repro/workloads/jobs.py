@@ -1,0 +1,96 @@
+"""Analysis-job workload: the load that motivated Scalla.
+
+§II-A: the Root framework "would perform several meta-data operations on
+dozens of files per job prior to commencing analysis", with "a thousand or
+more simultaneous analysis jobs" producing "thousands of transactions per
+second".  An :class:`AnalysisJob` models exactly that shape:
+
+1. a meta-data burst — stat/locate each input file (this is what hammers
+   the cmsd cache),
+2. an open of each file,
+3. a read phase (which mostly loads the data servers, not the cache).
+
+:func:`run_job` is a simulation coroutine usable directly in benches and
+examples; :class:`JobResult` carries the latency breakdown E2 reports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.cluster.client import ScallaClient
+
+__all__ = ["JobSpec", "JobResult", "run_job"]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Shape of one analysis job."""
+
+    files: tuple[str, ...]
+    #: Bytes read per file (per read call; one call per file keeps the
+    #: data phase cheap relative to meta-data, as in the real framework).
+    read_bytes: int = 4096
+    #: Think time between meta-data operations.
+    think_time: float = 0.0
+
+
+@dataclass
+class JobResult:
+    """Measured behaviour of one completed job."""
+
+    stat_latencies: list[float] = field(default_factory=list)
+    open_latencies: list[float] = field(default_factory=list)
+    read_latencies: list[float] = field(default_factory=list)
+    failures: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def metadata_ops(self) -> int:
+        return len(self.stat_latencies) + len(self.open_latencies)
+
+
+def run_job(client: ScallaClient, spec: JobSpec, *, rng: random.Random | None = None):
+    """Simulation coroutine executing one analysis job; returns JobResult."""
+    sim = client.sim
+    result = JobResult(started_at=sim.now)
+
+    # Phase 1: the meta-data burst — stat every input before anything else.
+    for path in spec.files:
+        t0 = sim.now
+        try:
+            yield from client.stat(path)
+        except Exception:
+            result.failures += 1
+            continue
+        result.stat_latencies.append(sim.now - t0)
+        if spec.think_time:
+            yield sim.timeout(spec.think_time)
+
+    # Phase 2+3: open and read each file.
+    for path in spec.files:
+        t0 = sim.now
+        try:
+            opened = yield from client.open(path)
+        except Exception:
+            result.failures += 1
+            continue
+        result.open_latencies.append(sim.now - t0)
+
+        t0 = sim.now
+        try:
+            yield from client.read(opened, 0, min(spec.read_bytes, max(opened.size, 1)))
+            yield from client.close(opened)
+        except Exception:
+            result.failures += 1
+            continue
+        result.read_latencies.append(sim.now - t0)
+
+    result.finished_at = sim.now
+    return result

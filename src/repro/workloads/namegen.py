@@ -1,0 +1,75 @@
+"""HEP-style dataset path generation.
+
+The collision experiment (E3) hinges on *realistic* file names: BaBar/LHC
+frameworks generate deeply structured paths that differ in a few digits
+(`run` numbers, stream ids, file sequence numbers), which is exactly the
+input family where power-of-two hashing falls over.  Random hex strings
+would hide the effect; these generators reproduce it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+__all__ = ["hep_paths", "sequential_paths", "qserv_chunk_path", "DEFAULT_EXPERIMENTS"]
+
+DEFAULT_EXPERIMENTS = ("babar", "atlas", "cms", "alice", "glast")
+
+_STREAMS = ("AllEvents", "Tau11", "IsrIncExc", "TwoPhoton", "DiLepton")
+_TIERS = ("raw", "reco", "aod", "ntuple")
+
+
+def hep_paths(
+    count: int,
+    *,
+    rng: random.Random | None = None,
+    experiment: str = "babar",
+    runs: int = 500,
+) -> list[str]:
+    """Structured physics paths: shared long prefixes, few varying digits.
+
+    Example: ``/store/babar/reco/AllEvents/run003412/evts-0071.root``.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    paths = []
+    seen = set()
+    while len(paths) < count:
+        run = rng.randrange(runs)
+        p = (
+            f"/store/{experiment}/{rng.choice(_TIERS)}/{rng.choice(_STREAMS)}"
+            f"/run{run:06d}/evts-{rng.randrange(10_000):04d}.root"
+        )
+        if p not in seen:
+            seen.add(p)
+            paths.append(p)
+    return paths
+
+
+def sequential_paths(count: int, *, prefix: str = "/store/data", width: int = 8) -> list[str]:
+    """Worst-case adversarial family: identical except a counter suffix.
+
+    Production frameworks emit exactly this shape during bulk production
+    passes; it maximizes low-bit correlation in CRC32.
+    """
+    return [f"{prefix}/file-{i:0{width}d}.root" for i in range(count)]
+
+
+def qserv_chunk_path(partition: int, *, query_id: int | None = None) -> str:
+    """Qserv's partition-addressed paths (§IV-B): opening this path reaches
+    a worker hosting that partition."""
+    if query_id is None:
+        return f"/qserv/chunk/{partition:05d}"
+    return f"/qserv/chunk/{partition:05d}/q{query_id}"
+
+
+def path_stream(rng: random.Random, *, experiment: str = "cms") -> Iterator[str]:
+    """Endless stream of fresh structured paths (equilibrium experiment E4)."""
+    i = 0
+    while True:
+        run = rng.randrange(100_000)
+        yield (
+            f"/store/{experiment}/{_TIERS[i % len(_TIERS)]}"
+            f"/run{run:06d}/evts-{i:06d}.root"
+        )
+        i += 1

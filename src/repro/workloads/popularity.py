@@ -1,0 +1,73 @@
+"""File popularity and request arrival models.
+
+The load experiment (E2) needs a realistic access skew: physics analyses
+hammer the newest datasets while the archive tail sleeps.  A Zipf
+distribution over the populated files is the standard model; arrivals are
+Poisson (exponential gaps) per client.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+import random
+
+__all__ = ["ZipfChooser", "UniformChooser", "poisson_arrivals"]
+
+
+class ZipfChooser:
+    """Draw items with P(rank k) ∝ 1/k^s using inverse-CDF sampling.
+
+    Precomputes the cumulative weights once; each draw is O(log n).
+    """
+
+    def __init__(self, items, *, s: float = 1.0) -> None:
+        self.items = list(items)
+        if not self.items:
+            raise ValueError("need at least one item")
+        if s < 0:
+            raise ValueError("exponent must be non-negative")
+        weights = [1.0 / (k**s) for k in range(1, len(self.items) + 1)]
+        self._cum = list(itertools.accumulate(weights))
+        self._total = self._cum[-1]
+
+    def choose(self, rng: random.Random):
+        x = rng.random() * self._total
+        idx = bisect.bisect_left(self._cum, x)
+        return self.items[min(idx, len(self.items) - 1)]
+
+    def expected_top_fraction(self, top: int) -> float:
+        """Fraction of requests hitting the *top* most popular items."""
+        if top <= 0:
+            return 0.0
+        top = min(top, len(self.items))
+        return self._cum[top - 1] / self._total
+
+
+class UniformChooser:
+    """Uniform popularity — the no-skew control."""
+
+    def __init__(self, items) -> None:
+        self.items = list(items)
+        if not self.items:
+            raise ValueError("need at least one item")
+
+    def choose(self, rng: random.Random):
+        return rng.choice(self.items)
+
+    def expected_top_fraction(self, top: int) -> float:
+        return min(top, len(self.items)) / len(self.items)
+
+
+def poisson_arrivals(rng: random.Random, rate: float, horizon: float) -> list[float]:
+    """Arrival times of a Poisson process with *rate*/s over [0, horizon)."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    times = []
+    t = 0.0
+    while True:
+        t += -math.log(1.0 - rng.random()) / rate
+        if t >= horizon:
+            return times
+        times.append(t)

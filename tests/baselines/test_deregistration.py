@@ -1,0 +1,59 @@
+"""§V's other half: de-registration cost, Scalla vs the centralized designs."""
+
+from repro.baselines.afs_volumedb import ReplicatedVolumeDB
+from repro.baselines.central_master import CentralMaster, ManifestChunk
+from repro.core.corrections import ClusterMembership
+
+
+class TestDeregistrationCost:
+    def test_scalla_drop_is_independent_of_file_count(self):
+        """Dropping a Scalla node touches only its export prefixes —
+        whether it held ten files or ten million is invisible."""
+        m = ClusterMembership()
+        m.login("srv-huge", ["/store", "/atlas"])  # exports 2 prefixes
+        # The drop's work is bounded by the prefix count; there is no file
+        # state to scrub because none was ever uploaded.
+        slot = m.drop("srv-huge")
+        assert m.member_count() == 0
+        assert m.eligible("/store/anything") == 0
+
+    def test_gfs_deregistration_scales_with_files(self):
+        master = CentralMaster()
+        small_files = [f"/a/{i}" for i in range(100)]
+        big_files = [f"/b/{i}" for i in range(10_000)]
+        master.ingest(ManifestChunk(node="small", paths=tuple(small_files), last=True))
+        master.ingest(ManifestChunk(node="big", paths=tuple(big_files), last=True))
+        assert master.deregister("small") == 100
+        assert master.deregister("big") == 10_000  # O(files) mappings scrubbed
+
+    def test_afs_update_amplification_per_change(self):
+        """Every AFS volume move costs one message per replica; Scalla's
+        equivalent (a server re-exporting) costs exactly one login."""
+        db = ReplicatedVolumeDB([f"vice{i}" for i in range(20)])
+        msgs = db.set_volume("vol1", "serverA")
+        assert msgs == 20
+
+        m = ClusterMembership()
+        m.login("serverA", ["/vol1"])
+        n_c_before = m.n_c
+        # Re-export (the Scalla-side analogue of a volume move):
+        m.login("serverA", ["/vol2"])  # drop + fresh login, local bookkeeping
+        assert m.n_c >= n_c_before  # counters moved; zero fan-out messages
+
+    def test_scalla_state_is_demand_proportional(self):
+        """AFS replicas store ALL volumes; a Scalla manager's cache holds
+        only names that were actually requested."""
+        db = ReplicatedVolumeDB(["a", "b", "c"])
+        for v in range(1_000):
+            db.set_volume(f"vol{v}", "s")
+        assert db.total_state() == 3_000  # 1000 volumes x 3 replicas
+
+        from repro.core.cache import NameCache
+
+        m = ClusterMembership()
+        m.login("s", ["/vol"])
+        cache = NameCache(m, lifetime=64.0)
+        # The cluster "has" 1000 volumes but only 10 were ever asked for.
+        for i in range(10):
+            cache.lookup(f"/vol{i}", now=0.0)
+        assert cache.live_count() == 10

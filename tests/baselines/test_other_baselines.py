@@ -1,0 +1,134 @@
+"""Unit tests for the protocol, eviction, and AFS baselines."""
+
+import pytest
+
+from repro.baselines.afs_volumedb import ReplicatedVolumeDB
+from repro.baselines.always_respond import (
+    always_respond_messages,
+    crossover_fraction,
+    rarely_respond_messages,
+)
+from repro.baselines.naive_eviction import EagerWindows
+from repro.core.crc32 import hash_name
+from repro.core.eviction import WINDOW_COUNT, EvictionWindows
+from repro.core.location import LocationObject
+
+
+class TestProtocolModel:
+    def test_rarely_counts(self):
+        mc = rarely_respond_messages(64, 3)
+        assert mc.queries == 64 and mc.responses == 3 and mc.total == 67
+
+    def test_always_counts(self):
+        mc = always_respond_messages(64, 3)
+        assert mc.total == 128
+
+    def test_rarely_never_worse(self):
+        for n in (1, 16, 64):
+            for h in range(n + 1):
+                assert (
+                    rarely_respond_messages(n, h).total
+                    <= always_respond_messages(n, h).total
+                )
+
+    def test_paper_criterion_less_than_half(self):
+        """At h < n/2, rarely-respond saves at least 25% of messages."""
+        n = 64
+        for h in range(n // 2):
+            saved = always_respond_messages(n, h).total - rarely_respond_messages(n, h).total
+            assert saved / always_respond_messages(n, h).total >= 0.25
+
+    def test_crossover_at_full_replication(self):
+        assert crossover_fraction() == 1.0
+        assert rarely_respond_messages(64, 64).total == always_respond_messages(64, 64).total
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rarely_respond_messages(0, 0)
+        with pytest.raises(ValueError):
+            always_respond_messages(4, 5)
+
+
+def make(key):
+    obj = LocationObject()
+    obj.assign(key, hash_name(key), c_n=0, t_a=0)
+    return obj
+
+
+class TestEagerWindows:
+    def test_expiry_matches_deferred_design(self):
+        eager = EagerWindows()
+        obj = make("/a")
+        eager.add(obj)
+        for _ in range(WINDOW_COUNT - 1):
+            assert not obj.hidden
+            eager.tick()
+        eager.tick()
+        assert obj.hidden
+
+    def test_refresh_moves_immediately(self):
+        eager = EagerWindows()
+        obj = make("/a")
+        eager.add(obj)
+        eager.tick()
+        eager.refresh(obj)
+        assert obj.chain_window == eager.current_window  # moved NOW
+
+    def test_scan_cost_grows_with_chain_length(self):
+        """The quadratic mechanism: refreshing objects in a long chain
+        costs a scan of that chain per refresh."""
+        eager = EagerWindows()
+        objs = [make(f"/f{i}") for i in range(1000)]
+        for o in objs:
+            eager.add(o)  # all in window 0
+        eager.tick()
+        eager.scan_steps = 0
+        for o in objs:
+            eager.refresh(o)
+        # First refresh scans ~1000, pattern sums to ~n^2/2 total steps.
+        assert eager.scan_steps > 1000 * 100
+
+    def test_deferred_design_does_no_refresh_scans(self):
+        deferred = EvictionWindows()
+        objs = [make(f"/f{i}") for i in range(1000)]
+        for o in objs:
+            deferred.add(o)
+        deferred.tick()
+        for o in objs:
+            deferred.refresh(o)  # O(1) each: just a field write
+        # The deferred cost shows up once, at sweep time, linear:
+        for _ in range(WINDOW_COUNT - 1):
+            deferred.tick()
+        assert deferred.total_rechained == 1000
+
+
+class TestAfsVolumeDB:
+    def test_update_fans_out_to_all_replicas(self):
+        db = ReplicatedVolumeDB([f"vice{i}" for i in range(10)])
+        msgs = db.set_volume("vol.physics", "server-3")
+        assert msgs == 10
+        assert db.update_messages == 10
+        assert db.consistent()
+
+    def test_lookup_any_replica(self):
+        db = ReplicatedVolumeDB(["a", "b"])
+        db.set_volume("v1", "s1")
+        assert db.lookup("v1", at_replica="a") == "s1"
+        assert db.lookup("v1", at_replica="b") == "s1"
+
+    def test_state_amplification(self):
+        """Every replica stores every volume: total state = volumes × replicas."""
+        db = ReplicatedVolumeDB([f"r{i}" for i in range(5)])
+        for v in range(100):
+            db.set_volume(f"vol{v}", "s1")
+        assert db.total_state() == 500
+
+    def test_deletion(self):
+        db = ReplicatedVolumeDB(["a"])
+        db.set_volume("v", "s")
+        db.set_volume("v", None)
+        assert db.lookup("v") is None
+
+    def test_empty_replica_set_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedVolumeDB([])

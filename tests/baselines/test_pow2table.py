@@ -1,0 +1,100 @@
+"""Unit tests for the power-of-two table baseline (and the E3 contrast)."""
+
+import pytest
+
+from repro.baselines.pow2table import Pow2Table
+from repro.core.crc32 import hash_name
+from repro.core.hashtable import LocationTable
+from repro.core.location import LocationObject
+from repro.workloads.namegen import sequential_paths
+
+
+def make(key):
+    obj = LocationObject()
+    obj.assign(key, hash_name(key), c_n=0, t_a=0)
+    return obj
+
+
+class TestPow2Table:
+    def test_insert_find(self):
+        t = Pow2Table()
+        obj = make("/a")
+        t.insert(obj)
+        assert t.find("/a", obj.hash_val) is obj
+        assert t.find("/b", hash_name("/b")) is None
+
+    def test_growth_doubles(self):
+        t = Pow2Table(initial_size=128)
+        for i in range(103):  # 80% of 128 = 102.4
+            t.insert(make(f"/f{i}"))
+        assert t.size == 256
+        assert t.resizes == 1
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ValueError):
+            Pow2Table(initial_size=100)
+
+    def test_all_keys_survive_growth(self):
+        t = Pow2Table(initial_size=128)
+        objs = [make(f"/store/run{i:04d}/f.root") for i in range(1000)]
+        for o in objs:
+            t.insert(o)
+        for o in objs:
+            assert t.find(o.key, o.hash_val) is o
+
+
+def chain_cost(hashes, modulus, *, pow2):
+    """Expected probes per successful lookup: sum(l^2)/n over chains."""
+    from collections import Counter
+
+    chains = Counter((h & (modulus - 1)) if pow2 else (h % modulus) for h in hashes)
+    n = len(hashes)
+    return sum(l * l for l in chains.values()) / n
+
+
+class TestCollisionContrast:
+    """The executable form of footnote 4 — with its honest boundaries.
+
+    Reproduction finding (recorded in EXPERIMENTS.md under E3): with zlib's
+    true CRC32 the power-of-two table is NOT measurably worse — CRC32's low
+    bits are well mixed.  The paper's "much higher collision rates" appear
+    exactly when the hash has correlated low bits, as classic
+    accumulate-style string hashes do on names sharing a constant suffix
+    (every HEP file ends ``.root``).  The Fibonacci modulus is insensitive
+    to the hash choice — that is its real virtue: it makes table behaviour
+    independent of hash quality in the low bits.
+    """
+
+    def test_crc32_pow2_not_worse_negative_result(self):
+        from repro.core.crc32 import hash_name as crc
+
+        hashes = [crc(p) for p in sequential_paths(4000)]
+        assert chain_cost(hashes, 8192, pow2=True) <= chain_cost(hashes, 6765, pow2=False) * 1.1
+
+    def test_sdbm_pow2_collides_fibonacci_rescues(self):
+        from repro.core.hashes import sdbm
+
+        hashes = [sdbm(p) for p in sequential_paths(4000)]
+        p2 = chain_cost(hashes, 8192, pow2=True)
+        fib = chain_cost(hashes, 6765, pow2=False)
+        assert p2 > fib * 2  # "much higher collision rates"
+
+    def test_shift_add_pow2_catastrophic(self):
+        from repro.core.hashes import shift_add
+
+        hashes = [shift_add(p) for p in sequential_paths(4000)]
+        p2 = chain_cost(hashes, 8192, pow2=True)
+        fib = chain_cost(hashes, 6765, pow2=False)
+        assert p2 > fib * 50
+
+    def test_fibonacci_near_ideal_for_every_hash(self):
+        """CRC32 mod Fibonacci behaves like an ideal random hash: expected
+        probe cost ~ 1 + load for every hash family tried."""
+        from repro.core.crc32 import hash_name as crc
+        from repro.core.hashes import java31, sdbm
+
+        for fn in (crc, java31, sdbm):
+            hashes = [fn(p) for p in sequential_paths(4000)]
+            load = 4000 / 6765
+            ideal = 1 + load
+            assert chain_cost(hashes, 6765, pow2=False) < ideal * 1.25

@@ -1,0 +1,75 @@
+"""Unit tests for the simulated mass storage system."""
+
+import pytest
+
+from repro.cluster.mss import MassStorage
+from repro.sim.kernel import Simulator
+from repro.sim.latency import Fixed
+
+
+class TestCatalog:
+    def test_archive_and_has(self):
+        mss = MassStorage(Simulator())
+        mss.archive("/store/old.root", 2048)
+        assert mss.has("/store/old.root")
+        assert mss.size_of("/store/old.root") == 2048
+        assert not mss.has("/store/new.root")
+
+    def test_catalog_paths_sorted(self):
+        mss = MassStorage(Simulator())
+        mss.archive("/b", 1)
+        mss.archive("/a", 1)
+        assert mss.catalog_paths() == ["/a", "/b"]
+
+
+class TestStaging:
+    def test_stage_takes_latency(self):
+        sim = Simulator()
+        mss = MassStorage(sim, stage_latency=Fixed(120.0))
+        mss.archive("/f", 100)
+        done = []
+
+        def p():
+            size = yield mss.stage("/f")
+            done.append((sim.now, size))
+
+        sim.process(p())
+        sim.run()
+        assert done == [(120.0, 100)]
+        assert mss.stages_started == 1
+        assert mss.stages_completed == 1
+
+    def test_concurrent_stages_shared(self):
+        """Two requests for the same file share one tape operation."""
+        sim = Simulator()
+        mss = MassStorage(sim, stage_latency=Fixed(60.0))
+        mss.archive("/f", 1)
+        times = []
+
+        def p(tag):
+            yield mss.stage("/f")
+            times.append((tag, sim.now))
+
+        sim.process(p("a"))
+        sim.process(p("b"))
+        sim.run()
+        assert times == [("a", 60.0), ("b", 60.0)]
+        assert mss.stages_started == 1
+
+    def test_stage_after_completion_restages(self):
+        sim = Simulator()
+        mss = MassStorage(sim, stage_latency=Fixed(10.0))
+        mss.archive("/f", 1)
+
+        def p():
+            yield mss.stage("/f")
+            yield mss.stage("/f")
+
+        sim.run_until_process(sim.process(p()))
+        assert mss.stages_started == 2
+        assert sim.now == 20.0
+
+    def test_unknown_path_raises(self):
+        mss = MassStorage(Simulator())
+        with pytest.raises(KeyError):
+            mss.stage("/ghost")

@@ -1,0 +1,113 @@
+"""Tests for the footnote-3 POSIX view (cnsd + client)."""
+
+import pytest
+
+from repro.cluster import ScallaCluster, ScallaConfig
+from repro.cluster.posix import PosixView
+
+
+@pytest.fixture(scope="module")
+def view_cluster():
+    cluster = ScallaCluster(4, config=ScallaConfig(seed=201, full_delay=0.5))
+    cluster.populate(
+        [
+            "/store/run1/a.root",
+            "/store/run1/b.root",
+            "/store/run2/sub/c.root",
+            "/store/top.root",
+            "/atlas/x.root",
+        ],
+        size=128,
+    )
+    cluster.settle()
+    view = PosixView(cluster.cnsd, cluster.client("posix"))
+    return cluster, view
+
+
+class TestNamespace:
+    def test_listdir_root(self, view_cluster):
+        _, view = view_cluster
+        entries = view.listdir("/")
+        assert [(e.name, e.is_dir) for e in entries] == [("atlas", True), ("store", True)]
+
+    def test_listdir_mixed(self, view_cluster):
+        _, view = view_cluster
+        entries = view.listdir("/store")
+        assert [(e.name, e.is_dir) for e in entries] == [
+            ("run1", True),
+            ("run2", True),
+            ("top.root", False),
+        ]
+
+    def test_listdir_files_only(self, view_cluster):
+        _, view = view_cluster
+        names = [e.name for e in view.listdir("/store/run1")]
+        assert names == ["a.root", "b.root"]
+
+    def test_listdir_empty_directory(self, view_cluster):
+        _, view = view_cluster
+        assert view.listdir("/nowhere") == []
+
+    def test_exists_and_isdir(self, view_cluster):
+        _, view = view_cluster
+        assert view.exists("/store/run1/a.root")
+        assert view.exists("/store/run1")
+        assert view.isdir("/store/run1")
+        assert not view.isdir("/store/run1/a.root")
+        assert not view.exists("/ghost")
+
+    def test_walk(self, view_cluster):
+        _, view = view_cluster
+        walked = list(view.walk("/store"))
+        tops = [w[0] for w in walked]
+        assert "/store" in tops and "/store/run2/sub" in tops
+        root = walked[0]
+        assert root[1] == ["run1", "run2"]
+        assert root[2] == ["top.root"]
+
+    def test_glob_count(self, view_cluster):
+        _, view = view_cluster
+        assert view.glob_count("/store/") == 4
+        assert view.glob_count("/atlas/") == 1
+
+    def test_listing_never_touches_the_manager(self, view_cluster):
+        """The whole point of the cnsd: ls is off the fast path."""
+        cluster, view = view_cluster
+        mgr = cluster.manager_cmsd()
+        locates_before = mgr.stats.locates
+        view.listdir("/store")
+        view.walk("/")
+        assert mgr.stats.locates == locates_before
+
+
+class TestDataOps:
+    def test_read_through_view(self, view_cluster):
+        cluster, view = view_cluster
+        data = cluster.run_process(view.read_file("/store/run1/a.root"), limit=60)
+        assert len(data) == 128
+
+    def test_stat_through_view(self, view_cluster):
+        cluster, view = view_cluster
+        exists, size = cluster.run_process(view.stat("/store/run1/b.root"), limit=60)
+        assert exists and size == 128
+
+    def test_write_creates_and_namespace_updates(self, view_cluster):
+        cluster, view = view_cluster
+        n = cluster.run_process(view.write_file("/store/run1/new.txt", b"hello"), limit=60)
+        assert n == 5
+        cluster.settle(0.01)  # cnsd notification in flight
+        assert "new.txt" in [e.name for e in view.listdir("/store/run1")]
+        data = cluster.run_process(view.read_file("/store/run1/new.txt"), limit=60)
+        assert data == b"hello"
+
+    def test_unlink(self, view_cluster):
+        cluster, view = view_cluster
+        cluster.run_process(view.write_file("/store/run1/tmp.txt", b"x"), limit=60)
+        cluster.settle(0.01)
+        assert cluster.run_process(view.unlink("/store/run1/tmp.txt"), limit=60)
+        cluster.settle(0.01)
+        assert "tmp.txt" not in [e.name for e in view.listdir("/store/run1")]
+
+    def test_unlink_missing_is_false(self, view_cluster):
+        cluster, view = view_cluster
+        assert not cluster.run_process(view.unlink("/store/nope.txt"), limit=60)

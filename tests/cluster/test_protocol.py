@@ -1,0 +1,52 @@
+"""Unit tests for protocol messages and the size model."""
+
+from repro.cluster import protocol as pr
+from repro.cluster.ids import NodeId, Role, cmsd_host, xrootd_host
+
+
+class TestIds:
+    def test_host_names(self):
+        nid = NodeId("srv00001", Role.SERVER)
+        assert nid.cmsd == "srv00001.cmsd" == cmsd_host("srv00001")
+        assert nid.xrootd == "srv00001.xrootd" == xrootd_host("srv00001")
+
+    def test_str(self):
+        assert str(NodeId("mgr0", Role.MANAGER)) == "mgr0(manager)"
+
+
+class TestMessages:
+    def test_login_carries_prefixes_only(self):
+        """The Login message must have no field capable of carrying a file
+        manifest — registration cost is O(prefixes) by construction."""
+        login = pr.Login(node="srv1", role="server", paths=("/store", "/atlas"))
+        assert set(vars(login)) == {"node", "role", "paths", "instance"}
+
+    def test_messages_hashable_and_frozen(self):
+        q = pr.QueryFile(path="/a", hash_val=1, mode="r", serial=1)
+        assert hash(q) is not None
+
+    def test_have_file_pending_flag(self):
+        h = pr.HaveFile(path="/a", hash_val=1, node="srv1", pending=True, write_capable=False)
+        assert h.pending and not h.write_capable
+
+
+class TestSizeModel:
+    def test_size_scales_with_path_length(self):
+        short = pr.QueryFile(path="/a", hash_val=1, mode="r", serial=1)
+        long = pr.QueryFile(path="/a" * 100, hash_val=1, mode="r", serial=1)
+        assert pr.estimate_size(long) > pr.estimate_size(short)
+
+    def test_size_scales_with_payload(self):
+        small = pr.ReadAck(req_id=1, data=b"x")
+        big = pr.ReadAck(req_id=1, data=b"x" * 10_000)
+        assert pr.estimate_size(big) - pr.estimate_size(small) == 9_999
+
+    def test_login_size_scales_with_prefix_count_not_file_count(self):
+        one = pr.Login(node="s", role="server", paths=("/store",))
+        many = pr.Login(node="s", role="server", paths=tuple(f"/p{i}" for i in range(10)))
+        assert pr.estimate_size(many) > pr.estimate_size(one)
+        # But even many prefixes stay tiny — order hundreds of bytes.
+        assert pr.estimate_size(many) < 500
+
+    def test_base_overhead_present(self):
+        assert pr.estimate_size(pr.CloseAck(req_id=1)) >= 24

@@ -1,0 +1,99 @@
+"""Unit tests for 64-ary tree construction."""
+
+import pytest
+
+from repro.cluster.ids import Role
+from repro.cluster.topology import build_topology, expected_depth
+
+
+class TestFlatClusters:
+    def test_single_server(self):
+        topo = build_topology(1)
+        assert len(topo.servers) == 1
+        assert topo.supervisors == []
+        assert len(topo.managers) == 1
+        assert topo.depth() == 1
+
+    def test_sixty_four_servers_flat(self):
+        topo = build_topology(64)
+        assert topo.supervisors == []
+        mgr = topo.nodes[topo.managers[0]]
+        assert len(mgr.children) == 64
+        assert topo.depth() == 1
+
+    def test_all_servers_parented_by_manager(self):
+        topo = build_topology(10)
+        for s in topo.servers:
+            assert topo.nodes[s].parents == topo.managers
+
+
+class TestDeepTrees:
+    def test_sixty_five_servers_needs_supervisors(self):
+        topo = build_topology(65)
+        assert len(topo.supervisors) == 2
+        assert topo.depth() == 2
+
+    def test_4096_two_levels(self):
+        topo = build_topology(4096)
+        assert len(topo.supervisors) == 64
+        assert topo.depth() == 2
+        topo.validate()
+
+    def test_small_fanout_builds_deep_tree(self):
+        # fanout 2, 8 servers -> 3 levels of interior nodes... bottom-up
+        # grouping: 8 -> 4 sups -> 2 sups -> manager (2 children).
+        topo = build_topology(8, fanout=2)
+        assert topo.depth() == 3
+        topo.validate()
+
+    def test_depth_matches_model(self):
+        from repro.core.models import tree_depth
+
+        for n in (1, 2, 63, 64, 65, 200, 4096):
+            topo = build_topology(n, fanout=64)
+            assert topo.depth() == tree_depth(n, 64) == expected_depth(n, 64)
+
+    def test_fanout_respected_everywhere(self):
+        topo = build_topology(100, fanout=8)
+        for spec in topo.nodes.values():
+            assert len(spec.children) <= 8
+
+
+class TestReplication:
+    def test_replicated_managers_share_children(self):
+        topo = build_topology(10, manager_replicas=3)
+        assert len(topo.managers) == 3
+        kids = {topo.nodes[m].children for m in topo.managers}
+        assert len(kids) == 1  # identical child sets
+        for s in topo.servers:
+            assert set(topo.nodes[s].parents) == set(topo.managers)
+
+    def test_roles(self):
+        topo = build_topology(70, manager_replicas=2)
+        assert all(topo.nodes[m].role is Role.MANAGER for m in topo.managers)
+        assert all(topo.nodes[s].role is Role.SUPERVISOR for s in topo.supervisors)
+        assert all(topo.nodes[s].role is Role.SERVER for s in topo.servers)
+
+
+class TestValidation:
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ValueError):
+            build_topology(0)
+
+    def test_fanout_above_64_rejected(self):
+        """64 is a hard cap: the cache's vectors are single machine words."""
+        with pytest.raises(ValueError):
+            build_topology(10, fanout=65)
+
+    def test_fanout_one_rejected(self):
+        with pytest.raises(ValueError):
+            build_topology(10, fanout=1)
+
+    def test_zero_managers_rejected(self):
+        with pytest.raises(ValueError):
+            build_topology(10, manager_replicas=0)
+
+    def test_exports_propagate(self):
+        topo = build_topology(5, exports=("/store", "/atlas"))
+        for spec in topo.nodes.values():
+            assert spec.exports == ("/store", "/atlas")

@@ -1,0 +1,218 @@
+"""Unit tests for the xrootd data server, driven by raw protocol messages."""
+
+import random
+
+import pytest
+
+from repro.cluster import protocol as pr
+from repro.cluster.fs import ServerFS
+from repro.cluster.ids import NodeId, Role
+from repro.cluster.mss import MassStorage
+from repro.cluster.xrootd import XrootdConfig, XrootdServer
+from repro.sim.kernel import Simulator
+from repro.sim.latency import Fixed
+from repro.sim.network import Network
+
+
+class Harness:
+    """A bare xrootd plus a test endpoint to exchange messages with it."""
+
+    def __init__(self, *, mss=False, stage_latency=10.0):
+        self.sim = Simulator()
+        self.net = Network(self.sim, default_latency=Fixed(1e-6), rng=random.Random(0))
+        self.me = self.net.add_host("tester")
+        self.fs = ServerFS()
+        self.mss = None
+        if mss:
+            self.mss = MassStorage(self.sim, stage_latency=Fixed(stage_latency))
+        self.cnsd_inbox = self.net.add_host("cnsd")
+        self.server = XrootdServer(
+            self.sim,
+            self.net,
+            NodeId("srv0", Role.SERVER),
+            self.fs,
+            mss=self.mss,
+            cnsd_host="cnsd",
+            config=XrootdConfig(service_time=Fixed(50e-6)),
+        )
+        self.server.start()
+        self._req = 0
+
+    def req_id(self):
+        self._req += 1
+        return self._req
+
+    def ask(self, msg, limit=1000.0):
+        """Send and await the reply with the matching req_id."""
+
+        def p():
+            self.net.send("tester", "srv0.xrootd", msg)
+            while True:
+                env = yield self.me.inbox.get()
+                if getattr(env.payload, "req_id", None) == msg.req_id:
+                    return env.payload
+
+        return self.sim.run_until_process(self.sim.process(p()), limit=limit)
+
+    def open(self, path, mode="r", create=False):
+        return self.ask(pr.Open(self.req_id(), "tester", path, mode, create))
+
+
+class TestOpen:
+    def test_open_existing(self):
+        h = Harness()
+        h.fs.put("/store/a", b"hello")
+        resp = h.open("/store/a")
+        assert isinstance(resp, pr.OpenAck)
+        assert resp.size == 5
+
+    def test_open_missing_fails_enoent(self):
+        h = Harness()
+        resp = h.open("/store/missing")
+        assert isinstance(resp, pr.OpenFail)
+        assert resp.reason == "ENOENT"
+        assert h.server.open_failures == 1
+
+    def test_create_new_file(self):
+        h = Harness()
+        resp = h.open("/store/new", mode="w", create=True)
+        assert isinstance(resp, pr.OpenAck)
+        assert h.fs.exists("/store/new")
+
+    def test_create_existing_fails(self):
+        h = Harness()
+        h.fs.put("/store/a", b"x")
+        resp = h.open("/store/a", mode="w", create=True)
+        assert isinstance(resp, pr.OpenFail)
+        assert resp.reason == "exists"
+
+    def test_open_staging_file_waits_for_stage(self):
+        h = Harness(mss=True, stage_latency=30.0)
+        h.mss.archive("/store/tape", 256)
+        resp = h.open("/store/tape")
+        assert isinstance(resp, pr.OpenAck)
+        assert resp.size == 256
+        assert h.sim.now >= 30.0
+        assert h.fs.exists("/store/tape")
+        assert h.server.stages == 1
+
+    def test_staged_file_served_from_disk_after(self):
+        h = Harness(mss=True, stage_latency=30.0)
+        h.mss.archive("/store/tape", 64)
+        h.open("/store/tape")
+        t0 = h.sim.now
+        h.open("/store/tape")
+        assert h.sim.now - t0 < 1.0  # no second stage
+        assert h.mss.stages_started == 1
+
+
+class TestDataOps:
+    def test_read_write_roundtrip(self):
+        h = Harness()
+        h.fs.put("/a", b"\x00" * 10)
+        ack = h.open("/a", mode="w")
+        h.ask(pr.Write(h.req_id(), "tester", ack.handle, 0, b"hello"))
+        resp = h.ask(pr.Read(h.req_id(), "tester", ack.handle, 0, 5))
+        assert resp.data == b"hello"
+
+    def test_read_bad_handle(self):
+        h = Harness()
+        resp = h.ask(pr.Read(h.req_id(), "tester", 999, 0, 5))
+        assert isinstance(resp, pr.OpenFail)
+
+    def test_close_releases_handle(self):
+        h = Harness()
+        h.fs.put("/a", b"x")
+        ack = h.open("/a")
+        h.ask(pr.Close(h.req_id(), "tester", ack.handle))
+        resp = h.ask(pr.Read(h.req_id(), "tester", ack.handle, 0, 1))
+        assert isinstance(resp, pr.OpenFail)
+
+    def test_stat(self):
+        h = Harness()
+        h.fs.put("/a", b"abc")
+        resp = h.ask(pr.Stat(h.req_id(), "tester", "/a"))
+        assert resp.exists and resp.size == 3
+        resp = h.ask(pr.Stat(h.req_id(), "tester", "/b"))
+        assert not resp.exists
+
+    def test_remove(self):
+        h = Harness()
+        h.fs.put("/a", b"x")
+        resp = h.ask(pr.Remove(h.req_id(), "tester", "/a"))
+        assert resp.removed
+        resp = h.ask(pr.Remove(h.req_id(), "tester", "/a"))
+        assert not resp.removed
+
+    def test_list(self):
+        h = Harness()
+        h.fs.put("/store/a", b"")
+        h.fs.put("/store/b", b"")
+        resp = h.ask(pr.List(h.req_id(), "tester", "/store"))
+        assert resp.names == ("/store/a", "/store/b")
+
+    def test_read_transfer_time_scales(self):
+        h = Harness()
+        h.fs.put("/big", b"\x01" * 1_000_000)
+        ack = h.open("/big")
+        t0 = h.sim.now
+        h.ask(pr.Read(h.req_id(), "tester", ack.handle, 0, 1_000_000))
+        big_time = h.sim.now - t0
+        t0 = h.sim.now
+        h.ask(pr.Read(h.req_id(), "tester", ack.handle, 0, 10))
+        small_time = h.sim.now - t0
+        assert big_time > small_time * 10
+
+
+class TestConcurrency:
+    def test_stage_does_not_block_other_requests(self):
+        """A minutes-long stage must not serialize the daemon."""
+        h = Harness(mss=True, stage_latency=100.0)
+        h.mss.archive("/tape", 1)
+        h.fs.put("/disk", b"x")
+        done = []
+
+        def slow():
+            self_req = pr.Open(900, "tester", "/tape", "r", False)
+            h.net.send("tester", "srv0.xrootd", self_req)
+            return
+            yield
+
+        def fast():
+            req = pr.Open(901, "tester", "/disk", "r", False)
+            h.net.send("tester", "srv0.xrootd", req)
+            while True:
+                env = yield h.me.inbox.get()
+                if getattr(env.payload, "req_id", None) == 901:
+                    done.append(h.sim.now)
+                    return
+
+        h.sim.process(slow())
+        h.sim.process(fast())
+        h.sim.run(until=5.0)
+        assert done and done[0] < 1.0
+
+    def test_load_metric_reflects_activity(self):
+        h = Harness(mss=True, stage_latency=50.0)
+        h.mss.archive("/tape", 1)
+        h.net.send("tester", "srv0.xrootd", pr.Open(1, "tester", "/tape", "r", False))
+        h.sim.run(until=1.0)
+        assert h.server.load > 0.0
+        h.sim.run(until=100.0)
+        assert h.server.load == 0.0
+
+
+class TestNamespaceNotifications:
+    def test_create_and_remove_notify_cnsd(self):
+        h = Harness()
+        h.open("/store/new", mode="w", create=True)
+        h.ask(pr.Remove(h.req_id(), "tester", "/store/new"))
+        h.sim.run()
+        ops = [e.payload.op for e in h.cnsd_inbox.inbox.drain()]
+        assert ops == ["create", "remove"]
+
+    def test_free_space_decreases(self):
+        h = Harness()
+        before = h.server.free_space
+        h.fs.put("/a", b"\x00" * 1000)
+        assert h.server.free_space == before - 1000

@@ -1,0 +1,98 @@
+"""Unit tests for the 64-bit server vector helpers."""
+
+import pytest
+
+from repro.core import bitvec
+
+
+class TestBit:
+    def test_bit_zero(self):
+        assert bitvec.bit(0) == 1
+
+    def test_bit_sixty_three(self):
+        assert bitvec.bit(63) == 1 << 63
+
+    @pytest.mark.parametrize("bad", [-1, 64, 100])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(ValueError):
+            bitvec.bit(bad)
+
+    def test_full_mask_is_all_64_bits(self):
+        assert bitvec.FULL_MASK == 2**64 - 1
+        assert bitvec.count(bitvec.FULL_MASK) == 64
+
+
+class TestSetClearHas:
+    def test_set_then_has(self):
+        v = bitvec.set_bit(0, 17)
+        assert bitvec.has(v, 17)
+        assert not bitvec.has(v, 16)
+
+    def test_clear_removes_only_target(self):
+        v = bitvec.from_indices([3, 5, 9])
+        v = bitvec.clear_bit(v, 5)
+        assert bitvec.to_indices(v) == [3, 9]
+
+    def test_clear_missing_bit_is_noop(self):
+        v = bitvec.from_indices([1])
+        assert bitvec.clear_bit(v, 2) == v
+
+    def test_has_out_of_range_is_false(self):
+        assert not bitvec.has(bitvec.FULL_MASK, 64)
+        assert not bitvec.has(bitvec.FULL_MASK, -1)
+
+    def test_set_is_idempotent(self):
+        v = bitvec.set_bit(0, 7)
+        assert bitvec.set_bit(v, 7) == v
+
+
+class TestIteration:
+    def test_iter_empty(self):
+        assert list(bitvec.iter_bits(0)) == []
+
+    def test_iter_ascending(self):
+        v = bitvec.from_indices([63, 0, 31])
+        assert list(bitvec.iter_bits(v)) == [0, 31, 63]
+
+    def test_roundtrip(self):
+        idx = [0, 1, 2, 13, 62, 63]
+        assert bitvec.to_indices(bitvec.from_indices(idx)) == idx
+
+    def test_count_matches_popcount(self):
+        v = bitvec.from_indices(range(0, 64, 3))
+        assert bitvec.count(v) == len(range(0, 64, 3))
+
+    def test_first_bit(self):
+        assert bitvec.first_bit(0) == -1
+        assert bitvec.first_bit(bitvec.from_indices([5, 40])) == 5
+        assert bitvec.first_bit(bitvec.bit(63)) == 63
+
+
+class TestValidate:
+    def test_accepts_valid(self):
+        assert bitvec.validate(bitvec.FULL_MASK) == bitvec.FULL_MASK
+        assert bitvec.validate(0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bitvec.validate(-1)
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ValueError):
+            bitvec.validate(1 << 64)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            bitvec.validate(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            bitvec.validate(3.0)
+
+
+class TestFormat:
+    def test_format_empty(self):
+        assert bitvec.format_vec(0) == "{}"
+
+    def test_format_some(self):
+        assert bitvec.format_vec(bitvec.from_indices([2, 5])) == "{2,5}"

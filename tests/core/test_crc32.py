@@ -1,0 +1,55 @@
+"""Unit tests for CRC32 file-name hashing."""
+
+import zlib
+
+import pytest
+
+from repro.core import crc32
+
+
+class TestReferenceImplementation:
+    """The pure-Python CRC must agree byte-for-byte with zlib."""
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"123456789",  # standard CRC-32 check vector
+            b"/store/data/run001234/evts_0007.root",
+            bytes(range(256)),
+        ],
+    )
+    def test_matches_zlib(self, data):
+        assert crc32.crc32_reference(data) == zlib.crc32(data) & 0xFFFFFFFF
+
+    def test_check_vector(self):
+        # The canonical CRC-32/ISO-HDLC check value for "123456789".
+        assert crc32.crc32_reference(b"123456789") == 0xCBF43926
+
+    def test_incremental_matches_oneshot(self):
+        whole = crc32.crc32_reference(b"hello world")
+        part = crc32.crc32_reference(b"hello ")
+        assert crc32.crc32_reference(b"world", part) == whole
+
+    def test_wrapper_incremental(self):
+        part = crc32.crc32(b"/store/", 0)
+        assert crc32.crc32(b"f.root", part) == crc32.crc32(b"/store/f.root")
+
+
+class TestHashName:
+    def test_deterministic(self):
+        assert crc32.hash_name("/a/b/c") == crc32.hash_name("/a/b/c")
+
+    def test_distinct_names_distinct_hashes(self):
+        # Not guaranteed in general, but these must differ for any sane CRC.
+        assert crc32.hash_name("/a/b/c") != crc32.hash_name("/a/b/d")
+
+    def test_unsigned_32_bit(self):
+        for name in ("", "x", "/very/long/" + "p" * 500):
+            h = crc32.hash_name(name)
+            assert 0 <= h <= 0xFFFFFFFF
+
+    def test_utf8_paths(self):
+        # cmsd treats names as opaque bytes; non-ASCII must hash cleanly.
+        assert isinstance(crc32.hash_name("/données/σ.root"), int)

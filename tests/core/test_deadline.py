@@ -1,0 +1,82 @@
+"""Unit tests for deadline-based query synchronization."""
+
+import pytest
+
+from repro.core.crc32 import hash_name
+from repro.core.deadline import DEFAULT_FULL_DELAY, DeadlinePolicy
+from repro.core.location import LocationObject
+
+
+def make_loc(key="/f"):
+    obj = LocationObject()
+    obj.assign(key, hash_name(key), c_n=0, t_a=0)
+    return obj
+
+
+class TestArm:
+    def test_arm_sets_deadline(self):
+        p = DeadlinePolicy(full_delay=5.0)
+        loc = make_loc()
+        assert p.arm(loc, now=10.0) == 15.0
+        assert loc.deadline == 15.0
+
+    def test_default_full_delay_is_five_seconds(self):
+        assert DEFAULT_FULL_DELAY == 5.0
+        assert DeadlinePolicy().full_delay == 5.0
+
+    def test_nonpositive_delay_rejected(self):
+        with pytest.raises(ValueError):
+            DeadlinePolicy(full_delay=0)
+
+
+class TestSynchronization:
+    def test_only_first_thread_queries(self):
+        """The core §III-C2 property: exactly one querier per epoch."""
+        p = DeadlinePolicy(full_delay=5.0)
+        loc = make_loc()
+        loc.v_q = 0b111
+        assert p.i_should_query(loc, now=0.0)
+        p.arm(loc, now=0.0)
+        # Every later thread inside the epoch defers.
+        assert not p.i_should_query(loc, now=0.1)
+        assert not p.i_should_query(loc, now=4.999)
+
+    def test_new_epoch_after_expiry(self):
+        p = DeadlinePolicy(full_delay=5.0)
+        loc = make_loc()
+        loc.v_q = 0b1
+        p.arm(loc, now=0.0)
+        assert p.i_should_query(loc, now=5.1)
+
+    def test_empty_vq_never_queries(self):
+        p = DeadlinePolicy()
+        loc = make_loc()
+        assert not p.i_should_query(loc, now=0.0)
+
+    def test_active(self):
+        p = DeadlinePolicy(full_delay=2.0)
+        loc = make_loc()
+        p.arm(loc, now=1.0)
+        assert p.active(loc, now=2.9)
+        assert not p.active(loc, now=3.0)
+
+
+class TestNonexistence:
+    def test_empty_and_expired_means_nonexistent(self):
+        p = DeadlinePolicy(full_delay=5.0)
+        loc = make_loc()
+        p.arm(loc, now=0.0)
+        assert not p.nonexistent(loc, now=1.0)  # answers may be in flight
+        assert p.nonexistent(loc, now=5.5)
+
+    def test_nonempty_vectors_exist(self):
+        p = DeadlinePolicy()
+        loc = make_loc()
+        loc.v_h = 0b1
+        assert not p.nonexistent(loc, now=100.0)
+
+    def test_pending_counts_as_existing(self):
+        p = DeadlinePolicy()
+        loc = make_loc()
+        loc.v_p = 0b1
+        assert not p.nonexistent(loc, now=100.0)

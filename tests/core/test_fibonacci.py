@@ -1,0 +1,47 @@
+"""Unit tests for the Fibonacci table-size ladder."""
+
+import pytest
+
+from repro.core import fibonacci
+
+
+class TestLadder:
+    def test_first_rungs(self):
+        assert fibonacci.fibonacci_numbers(100) == [1, 2, 3, 5, 8, 13, 21, 34, 55, 89]
+
+    def test_next_from_member(self):
+        assert fibonacci.next_fibonacci(89) == 144
+        assert fibonacci.next_fibonacci(144) == 233
+
+    def test_next_from_non_member(self):
+        assert fibonacci.next_fibonacci(100) == 144
+        assert fibonacci.next_fibonacci(0) == 1
+
+    def test_next_rejects_negative(self):
+        with pytest.raises(ValueError):
+            fibonacci.next_fibonacci(-1)
+
+    def test_is_fibonacci(self):
+        assert fibonacci.is_fibonacci(89)
+        assert fibonacci.is_fibonacci(1)
+        assert not fibonacci.is_fibonacci(4)
+        assert not fibonacci.is_fibonacci(90)
+
+    def test_growth_is_geometric(self):
+        """Consecutive rungs must grow by ~the golden ratio, so the resize
+        rate decays as the paper observes."""
+        rungs = fibonacci.fibonacci_numbers(10**9)[5:]
+        ratios = [b / a for a, b in zip(rungs, rungs[1:])]
+        for r in ratios:
+            assert 1.5 < r < 1.7
+
+    def test_default_initial_size_on_ladder(self):
+        assert fibonacci.is_fibonacci(fibonacci.DEFAULT_INITIAL_SIZE)
+
+    def test_ladder_reaches_realistic_cache_sizes(self):
+        # The paper's equilibrium bound is 28.8M objects; the ladder must
+        # comfortably exceed the table size needed for that at 80% load.
+        assert fibonacci.next_fibonacci(28_800_000 * 2) > 28_800_000 * 2
+
+    def test_threshold_is_eighty_percent(self):
+        assert fibonacci.GROWTH_THRESHOLD == pytest.approx(0.80)

@@ -1,0 +1,45 @@
+"""Unit tests for the alternative string hashes (footnote-4 study)."""
+
+import pytest
+
+from repro.core.hashes import ALL_HASHES, java31, sdbm, shift_add
+
+
+class TestHashBasics:
+    @pytest.mark.parametrize("fn", list(ALL_HASHES.values()), ids=list(ALL_HASHES))
+    def test_deterministic(self, fn):
+        assert fn("/store/a.root") == fn("/store/a.root")
+
+    @pytest.mark.parametrize("fn", list(ALL_HASHES.values()), ids=list(ALL_HASHES))
+    def test_32_bit_range(self, fn):
+        for name in ("", "x", "/very/long" + "y" * 300, "/données/σ.root"):
+            assert 0 <= fn(name) <= 0xFFFFFFFF
+
+    def test_java31_known_value(self):
+        # Java's "abc".hashCode() == 96354; our byte-wise version agrees
+        # for ASCII input.
+        assert java31("abc") == 96354
+
+    def test_registry_complete(self):
+        assert set(ALL_HASHES) == {"java31", "sdbm", "shift_add"}
+
+
+class TestLowBitCorrelation:
+    """The property the footnote-4 study rests on, pinned directly."""
+
+    def test_shift_add_low_bits_pinned_by_suffix(self):
+        """Names ending '.root' share their low bits under shift_add once
+        enough constant characters follow the varying part."""
+        a = shift_add("/store/file-0001.root")
+        b = shift_add("/store/file-0002.root")
+        # Low 16 bits are dictated by the last 4+ characters ('.root' tail
+        # shifted through), so the run-number difference is invisible there.
+        assert (a ^ b) & 0xFFF == 0
+
+    def test_sdbm_distinct_names_usually_distinct(self):
+        names = [f"/store/f{i}.root" for i in range(1000)]
+        assert len({sdbm(n) for n in names}) > 990
+
+    def test_java31_distinct_names_usually_distinct(self):
+        names = [f"/store/f{i}.root" for i in range(1000)]
+        assert len({java31(n) for n in names}) > 990

@@ -1,0 +1,82 @@
+"""Unit tests for the analytical models."""
+
+import pytest
+
+from repro.core import models
+
+
+class TestTreeDepth:
+    def test_single_server(self):
+        assert models.tree_depth(1) == 1
+
+    def test_up_to_64_needs_one_level(self):
+        assert models.tree_depth(64) == 1
+
+    def test_65_needs_two_levels(self):
+        assert models.tree_depth(65) == 2
+
+    def test_4096_is_two_levels(self):
+        assert models.tree_depth(4096) == 2
+
+    def test_4097_is_three_levels(self):
+        assert models.tree_depth(4097) == 3
+
+    def test_depth_grows_logarithmically(self):
+        assert models.tree_depth(64**4) == 4
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ValueError):
+            models.tree_depth(0)
+
+    def test_max_servers_inverse(self):
+        for d in (1, 2, 3):
+            assert models.tree_depth(models.max_servers(d)) == d
+            assert models.tree_depth(models.max_servers(d) + 1) == d + 1
+
+
+class TestEquilibrium:
+    def test_paper_headline_number(self):
+        """1000 objects/s over 8 hours = 28,800,000 objects."""
+        assert models.equilibrium_objects(1000.0, 8 * 3600.0) == 28_800_000
+
+    def test_typical_rate_is_far_smaller(self):
+        typical = models.equilibrium_objects(100.0, 8 * 3600.0)
+        assert typical == 2_880_000
+        assert typical < 28_800_000 / 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            models.equilibrium_objects(-1.0, 10.0)
+
+
+class TestMemoryBound:
+    def test_paper_sixteen_gb(self):
+        bound = models.memory_bound_bytes(1000.0, 8 * 3600.0)
+        assert bound == pytest.approx(16 * 2**30, rel=1e-9)
+
+    def test_typical_under_one_gb(self):
+        """"the memory utilization normally stays well below 1GB" at
+        50-100 creates/second... at the paper's ~590 B/object, 100/s gives
+        ~1.7 GB over a full 8 h — 'well below 1 GB' holds at the 50/s end
+        and for the shorter effective lifetimes of typical workdays."""
+        assert models.memory_bound_bytes(50.0, 8 * 3600.0) < 1.0 * 2**30
+
+    def test_bytes_per_object_plausible(self):
+        # A location object is a few vectors + key text; hundreds of bytes.
+        assert 100 < models.PAPER_BYTES_PER_OBJECT < 2000
+
+
+class TestTickFraction:
+    def test_one_sixty_fourth(self):
+        assert models.tick_fraction() == pytest.approx(1 / 64)
+        assert models.tick_fraction() == pytest.approx(0.016, abs=0.001)
+
+
+class TestPaperClaims:
+    def test_claims_frozen(self):
+        claims = models.PaperClaims()
+        with pytest.raises(AttributeError):
+            claims.full_delay = 1.0
+
+    def test_window_tick_is_7_5_minutes(self):
+        assert models.PaperClaims().window_tick == pytest.approx(450.0)

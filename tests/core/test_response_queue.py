@@ -1,0 +1,178 @@
+"""Unit tests for the 1024-anchor fast response queue."""
+
+import pytest
+
+from repro.core.crc32 import hash_name
+from repro.core.location import NO_QUEUE, LocationObject
+from repro.core.response_queue import AccessMode, ResponseQueue
+
+
+def make_loc(key="/store/f.root"):
+    obj = LocationObject()
+    obj.assign(key, hash_name(key), c_n=0, t_a=0)
+    return obj
+
+
+class TestAddWaiter:
+    def test_first_add_reports_queue_was_empty(self):
+        q = ResponseQueue()
+        loc = make_loc()
+        out = q.add_waiter(loc, AccessMode.READ, "client-1", now=0.0)
+        assert out.accepted and out.queue_was_empty
+
+    def test_second_add_does_not_rewake(self):
+        q = ResponseQueue()
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "c1", now=0.0)
+        out = q.add_waiter(loc, AccessMode.READ, "c2", now=0.001)
+        assert out.accepted and not out.queue_was_empty
+
+    def test_same_loc_same_mode_shares_anchor(self):
+        q = ResponseQueue()
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "c1", now=0.0)
+        q.add_waiter(loc, AccessMode.READ, "c2", now=0.0)
+        assert q.active_anchors == 1
+        assert q.pending_waiters() == 2
+
+    def test_read_and_write_use_separate_anchors(self):
+        q = ResponseQueue()
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "r", now=0.0)
+        q.add_waiter(loc, AccessMode.WRITE, "w", now=0.0)
+        assert q.active_anchors == 2
+        assert loc.rq_read != NO_QUEUE and loc.rq_write != NO_QUEUE
+        assert loc.rq_read != loc.rq_write
+
+    def test_exhaustion_rejected(self):
+        q = ResponseQueue(anchors=2)
+        locs = [make_loc(f"/f{i}") for i in range(3)]
+        assert q.add_waiter(locs[0], AccessMode.READ, "a", 0.0).accepted
+        assert q.add_waiter(locs[1], AccessMode.READ, "b", 0.0).accepted
+        out = q.add_waiter(locs[2], AccessMode.READ, "c", 0.0)
+        assert not out.accepted
+        assert q.rejected == 1
+
+    def test_zero_anchors_invalid(self):
+        with pytest.raises(ValueError):
+            ResponseQueue(anchors=0)
+
+
+class TestResponses:
+    def test_response_releases_readers_with_server(self):
+        q = ResponseQueue()
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "c1", now=0.0)
+        q.add_waiter(loc, AccessMode.READ, "c2", now=0.0)
+        released = q.on_response(loc, server=7, write_capable=False)
+        assert {w.payload for w in released} == {"c1", "c2"}
+        assert all(w.server == 7 for w in released)
+        assert loc.rq_read == NO_QUEUE
+        assert q.active_anchors == 0
+
+    def test_read_only_response_leaves_writers_waiting(self):
+        q = ResponseQueue()
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "r", now=0.0)
+        q.add_waiter(loc, AccessMode.WRITE, "w", now=0.0)
+        released = q.on_response(loc, server=3, write_capable=False)
+        assert [w.payload for w in released] == ["r"]
+        assert q.pending_waiters() == 1
+
+    def test_write_capable_response_releases_both(self):
+        q = ResponseQueue()
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "r", now=0.0)
+        q.add_waiter(loc, AccessMode.WRITE, "w", now=0.0)
+        released = q.on_response(loc, server=3, write_capable=True)
+        assert {w.payload for w in released} == {"r", "w"}
+
+    def test_response_with_no_waiters_is_empty(self):
+        q = ResponseQueue()
+        assert q.on_response(make_loc(), server=1, write_capable=True) == []
+
+    def test_anchor_recycled_after_response(self):
+        q = ResponseQueue(anchors=1)
+        loc1, loc2 = make_loc("/a"), make_loc("/b")
+        q.add_waiter(loc1, AccessMode.READ, "c", now=0.0)
+        q.on_response(loc1, server=0, write_capable=False)
+        assert q.add_waiter(loc2, AccessMode.READ, "d", now=0.0).accepted
+
+
+class TestLooseCoupling:
+    def test_stale_association_detected_after_generation_bump(self):
+        """If the location object is recycled, its stored queue index must
+        not resolve — the anchor belongs to the *old* object."""
+        q = ResponseQueue()
+        loc = make_loc("/a")
+        q.add_waiter(loc, AccessMode.READ, "c", now=0.0)
+        idx = loc.rq_read
+        loc.hide()  # generation bump, as removal would do
+        # The association check must fail, so a response releases nothing.
+        assert q.on_response(loc, server=1, write_capable=True) == []
+        # And a new waiter gets a fresh anchor rather than joining idx.
+        loc.assign("/b", hash_name("/b"), c_n=0, t_a=0)
+        q.add_waiter(loc, AccessMode.READ, "d", now=0.0)
+        assert q.pending_waiters() >= 1
+
+    def test_anchor_reuse_invalidates_old_reference(self):
+        q = ResponseQueue(anchors=1)
+        loc1, loc2 = make_loc("/a"), make_loc("/b")
+        q.add_waiter(loc1, AccessMode.READ, "c1", now=0.0)
+        q.expire(now=10.0)  # anchor reclaimed, stamp bumped
+        q.add_waiter(loc2, AccessMode.READ, "c2", now=10.0)
+        # loc1 still holds the old index; it must not hijack loc2's anchor.
+        assert q.on_response(loc1, server=5, write_capable=True) == []
+        released = q.on_response(loc2, server=5, write_capable=True)
+        assert [w.payload for w in released] == ["c2"]
+
+
+class TestExpiry:
+    def test_expire_before_period_is_noop(self):
+        q = ResponseQueue(period=0.133)
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "c", now=0.0)
+        assert q.expire(now=0.1) == []
+        assert q.pending_waiters() == 1
+
+    def test_expire_after_period_times_out(self):
+        q = ResponseQueue(period=0.133)
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "c", now=0.0)
+        expired = q.expire(now=0.14)
+        assert [w.payload for w in expired] == ["c"]
+        assert all(w.server == -1 for w in expired)
+        assert loc.rq_read == NO_QUEUE
+        assert q.timeouts == 1
+
+    def test_expiry_is_fifo_partial(self):
+        q = ResponseQueue(period=0.133)
+        early, late = make_loc("/a"), make_loc("/b")
+        q.add_waiter(early, AccessMode.READ, "early", now=0.0)
+        q.add_waiter(late, AccessMode.READ, "late", now=0.1)
+        expired = q.expire(now=0.15)
+        assert [w.payload for w in expired] == ["early"]
+        assert q.pending_waiters() == 1
+
+    def test_responded_anchor_not_expired(self):
+        q = ResponseQueue(period=0.133)
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "c", now=0.0)
+        q.on_response(loc, server=2, write_capable=False)
+        assert q.expire(now=1.0) == []
+
+    def test_next_expiry(self):
+        q = ResponseQueue(period=0.133)
+        assert q.next_expiry() is None
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "c", now=1.0)
+        assert q.next_expiry() == pytest.approx(1.133)
+        q.on_response(loc, server=0, write_capable=False)
+        assert q.next_expiry() is None
+
+    def test_fast_response_beats_timeout_stats(self):
+        q = ResponseQueue(period=0.133)
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "c", now=0.0)
+        q.on_response(loc, server=0, write_capable=False)
+        assert q.fast_responses == 1 and q.timeouts == 0

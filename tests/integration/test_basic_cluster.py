@@ -1,0 +1,151 @@
+"""Integration: a flat (single-level) cluster end to end."""
+
+import pytest
+
+from repro.cluster import NoSuchFile, ScallaCluster, ScallaConfig
+from repro.cluster.client import FileExists
+
+
+@pytest.fixture()
+def cluster():
+    c = ScallaCluster(4, config=ScallaConfig(seed=7))
+    c.populate([f"/store/run1/f{i}.root" for i in range(8)], size=2048)
+    c.settle()
+    return c
+
+
+class TestOpenRead:
+    def test_open_existing_file(self, cluster):
+        client = cluster.client()
+        res = cluster.run_process(client.open("/store/run1/f0.root"), limit=60)
+        assert res.size == 2048
+        assert res.node in cluster.servers
+        assert res.latency < 0.01  # sub-10ms, nowhere near the 5 s delay
+
+    def test_open_redirects_to_actual_holder(self, cluster):
+        client = cluster.client()
+        res = cluster.run_process(client.open("/store/run1/f3.root"), limit=60)
+        assert cluster.node(res.node).fs.exists("/store/run1/f3.root")
+
+    def test_fetch_whole_file(self, cluster):
+        client = cluster.client()
+        data = cluster.run_process(client.fetch("/store/run1/f1.root"), limit=60)
+        assert data == b"\x00" * 2048
+
+    def test_read_write_through_cluster(self, cluster):
+        client = cluster.client()
+
+        def scenario():
+            res = yield from client.open("/store/run1/f2.root", mode="w")
+            yield from client.write(res, 0, b"physics!")
+            back = yield from client.read(res, 0, 8)
+            yield from client.close(res)
+            return back
+
+        assert cluster.run_process(scenario(), limit=60) == b"physics!"
+
+    def test_stat_existing(self, cluster):
+        client = cluster.client()
+        exists, size = cluster.run_process(client.stat("/store/run1/f0.root"), limit=60)
+        assert exists and size == 2048
+
+    def test_stat_missing(self, cluster):
+        client = cluster.client()
+        exists, size = cluster.run_process(client.stat("/store/ghost.root"), limit=60)
+        assert not exists
+
+
+class TestNonexistence:
+    def test_missing_file_raises_after_full_delay(self, cluster):
+        """Non-existence costs the full 5 s wait (§III-B): silence is the
+        only negative signal."""
+        client = cluster.client()
+        t0 = cluster.sim.now
+        with pytest.raises(NoSuchFile):
+            cluster.run_process(client.open("/store/ghost.root"), limit=60)
+        elapsed = cluster.sim.now - t0
+        assert elapsed >= cluster.config.full_delay
+
+    def test_waits_reported(self, cluster):
+        client = cluster.client()
+        with pytest.raises(NoSuchFile):
+            cluster.run_process(client.open("/store/ghost.root"), limit=60)
+        assert client.stats.waits >= 1
+
+
+class TestCaching:
+    def test_second_lookup_is_fast(self, cluster):
+        c1 = cluster.client()
+        first = cluster.run_process(c1.open("/store/run1/f4.root"), limit=60)
+        c2 = cluster.client()
+        second = cluster.run_process(c2.open("/store/run1/f4.root"), limit=60)
+        # Cached resolution skips the query round trip entirely.
+        assert second.latency < first.latency
+
+    def test_manager_caches_location(self, cluster):
+        client = cluster.client()
+        cluster.run_process(client.open("/store/run1/f5.root"), limit=60)
+        mgr = cluster.manager_cmsd()
+        before = mgr.stats.queries_sent
+        cluster.run_process(cluster.client().open("/store/run1/f5.root"), limit=60)
+        assert mgr.stats.queries_sent == before  # no re-flood
+
+    def test_request_rarely_respond(self, cluster):
+        """Only the holder answers a flood: 4 queries out, 1 have back."""
+        client = cluster.client()
+        mgr = cluster.manager_cmsd()
+        cluster.run_process(client.open("/store/run1/f6.root"), limit=60)
+        assert mgr.stats.queries_sent == 4
+        assert mgr.stats.haves_received == 1
+
+
+class TestCreate:
+    def test_create_new_file(self, cluster):
+        client = cluster.client()
+        res = cluster.run_process(client.open("/store/new.root", mode="w", create=True), limit=60)
+        assert cluster.node(res.node).fs.exists("/store/new.root")
+
+    def test_create_waits_full_delay(self, cluster):
+        """File creation necessarily eats one full delay (§III-B2)."""
+        client = cluster.client()
+        t0 = cluster.sim.now
+        cluster.run_process(client.open("/store/new2.root", mode="w", create=True), limit=60)
+        assert cluster.sim.now - t0 >= cluster.config.full_delay
+
+    def test_create_existing_raises(self, cluster):
+        client = cluster.client()
+        with pytest.raises(FileExists):
+            cluster.run_process(
+                client.open("/store/run1/f0.root", mode="w", create=True), limit=60
+            )
+
+    def test_created_file_locatable_afterwards(self, cluster):
+        client = cluster.client()
+        cluster.run_process(client.open("/store/fresh.root", mode="w", create=True), limit=60)
+        res = cluster.run_process(cluster.client().open("/store/fresh.root"), limit=60)
+        assert res.size == 0
+
+
+class TestRemove:
+    def test_remove_then_open_fails(self, cluster):
+        client = cluster.client()
+        assert cluster.run_process(client.remove("/store/run1/f7.root"), limit=60)
+        with pytest.raises(NoSuchFile):
+            cluster.run_process(cluster.client().open("/store/run1/f7.root"), limit=120)
+
+    def test_remove_missing_returns_false(self, cluster):
+        client = cluster.client()
+        assert not cluster.run_process(client.remove("/store/ghost.root"), limit=60)
+
+
+class TestReplicas:
+    def test_replicated_file_selection_rotates(self):
+        cluster = ScallaCluster(4, config=ScallaConfig(seed=3))
+        cluster.populate(["/store/hot.root"], copies=3, size=128)
+        cluster.settle()
+        nodes = set()
+        for _ in range(6):
+            res = cluster.run_process(cluster.client().open("/store/hot.root"), limit=60)
+            nodes.add(res.node)
+        # Round-robin selection must spread across all three replicas.
+        assert len(nodes) == 3

@@ -1,0 +1,59 @@
+"""Every example script must run to completion and print its story.
+
+Examples are executable documentation; these tests keep them from rotting.
+Each runs in a subprocess exactly as a user would run it.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr}"
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "cluster up: 64 servers" in out
+        assert "cold open" in out and "warm open" in out
+        assert "fetched" not in out  # renamed long ago; guard wording drift
+        assert "roundtrip : wrote+read back b'brand new physics'" in out
+
+    def test_babar_analysis(self):
+        out = run_example("babar_analysis.py")
+        assert "200 jobs finished" in out
+        assert "0 failures" in out
+        assert "hit rate" in out
+
+    def test_qserv_survey(self):
+        out = run_example("qserv_survey.py")
+        assert "point query" in out
+        assert "re-dispatch" in out
+        assert "fault tolerance came from Scalla's mapping" in out
+
+    def test_failure_drill(self):
+        out = run_example("failure_drill.py")
+        assert "members=16 online=15 offline=1" in out  # case 1 observed
+        assert "'within seconds of restarting'" in out
+
+    def test_wan_federation(self):
+        out = run_example("wan_federation.py")
+        assert "local replica" in out
+        assert "tape-archived file staged at SLAC" in out
+        # Locality-aware selection: every hot-file line must be local.
+        hot_lines = [l for l in out.splitlines() if "replicated hot file" in l]
+        assert len(hot_lines) == 3
+        assert all("local replica" in l for l in hot_lines)

@@ -1,0 +1,112 @@
+"""Integration: MSS staging (V_p) and the parallel prepare optimization."""
+
+import pytest
+
+from repro.cluster import ScallaCluster, ScallaConfig
+from repro.sim.latency import Fixed
+
+
+class TestStaging:
+    def make(self, stage=3.0):
+        c = ScallaCluster(
+            3,
+            config=ScallaConfig(seed=31, full_delay=1.0, stage_latency=Fixed(stage)),
+        )
+        c.settle()
+        return c
+
+    def test_offline_file_answered_pending(self):
+        """A server whose MSS holds the file answers the flood with a
+        pending response — that is what V_p exists for."""
+        cluster = self.make()
+        cluster.archive("/store/tape.root", cluster.servers[0], size=512)
+        mgr = cluster.manager_cmsd()
+        res = cluster.run_process(cluster.client().open("/store/tape.root"), limit=60)
+        assert res.node == cluster.servers[0]
+        assert res.size == 512
+        # The open had to ride out the stage.
+        assert res.latency >= 3.0
+
+    def test_staged_file_is_online_afterwards(self):
+        cluster = self.make()
+        cluster.archive("/store/tape2.root", cluster.servers[1], size=64)
+        cluster.run_process(cluster.client().open("/store/tape2.root"), limit=60)
+        res2 = cluster.run_process(cluster.client().open("/store/tape2.root"), limit=60)
+        assert res2.latency < 0.01  # on disk now: microseconds, not minutes
+
+    def test_cache_records_pending_state(self):
+        cluster = self.make(stage=30.0)
+        cluster.archive("/store/slow.root", cluster.servers[2], size=64)
+        client = cluster.client()
+        proc = cluster.sim.process(client.open("/store/slow.root"))
+        cluster.run(until=cluster.sim.now + 1.0)  # flood answered 'pending'
+        mgr = cluster.manager_cmsd()
+        ref, _ = mgr.cache.lookup("/store/slow.root", cluster.sim.now, add=False)
+        assert ref is not None
+        obj = ref.get()
+        assert obj.v_p != 0 and obj.v_h == 0
+        cluster.sim.run_until_process(proc, limit=100.0)
+
+
+class TestPrepare:
+    def make(self, n=4, full_delay=1.0):
+        c = ScallaCluster(n, config=ScallaConfig(seed=32, full_delay=full_delay))
+        c.settle()
+        return c
+
+    def test_sequential_creates_pay_per_file(self):
+        """Without prepare, each create eats its own full delay (§III-B2)."""
+        cluster = self.make()
+        client = cluster.client()
+
+        def scenario():
+            for i in range(3):
+                res = yield from client.open(f"/store/new{i}.root", mode="w", create=True)
+                yield from client.close(res)
+
+        t0 = cluster.sim.now
+        cluster.run_process(scenario(), limit=120)
+        assert cluster.sim.now - t0 >= 3 * cluster.config.full_delay
+
+    def test_prepare_amortizes_to_single_delay(self):
+        """With prepare, at most one full delay is visible externally."""
+        cluster = self.make()
+        client = cluster.client()
+        paths = [f"/store/bulk{i}.root" for i in range(3)]
+
+        def scenario():
+            yield from client.prepare(paths)
+            # Give the background look-ups their full delay, as a real
+            # framework does while it sets up the job.
+            yield cluster.sim.timeout(cluster.config.full_delay + 0.2)
+            for p in paths:
+                res = yield from client.open(p, mode="w", create=True)
+                yield from client.close(res)
+
+        t0 = cluster.sim.now
+        cluster.run_process(scenario(), limit=120)
+        elapsed = cluster.sim.now - t0
+        # One full delay (plus protocol microseconds), not three.
+        assert elapsed < 2 * cluster.config.full_delay
+
+    def test_prepare_warms_read_lookups(self):
+        cluster = self.make()
+        cluster.populate(["/store/warm.root"], size=64)
+        client = cluster.client()
+
+        def scenario():
+            yield from client.prepare(["/store/warm.root"])
+            yield cluster.sim.timeout(0.01)  # responses arrive in ~100 µs
+            return (yield from client.open("/store/warm.root"))
+
+        res = cluster.run_process(scenario(), limit=60)
+        # The open itself saw a warm cache: no query round trip in its path.
+        mgr = cluster.manager_cmsd()
+        assert res.latency < 200e-6
+        assert mgr.stats.prepares == 1
+
+    def test_prepare_ack_counts_paths(self):
+        cluster = self.make()
+        client = cluster.client()
+        n = cluster.run_process(client.prepare([f"/store/p{i}" for i in range(7)]), limit=60)
+        assert n == 7

@@ -1,0 +1,108 @@
+"""Integration: interior-node (supervisor) failures.
+
+The paper's recoverability argument applies at every tree level: a
+supervisor is just another replaceable node whose state is reconstructible.
+These tests kill supervisors mid-service and verify the tree heals — the
+manager's membership machinery treats a supervisor exactly like a server,
+and the subtree re-attaches by re-login when the supervisor returns.
+"""
+
+import pytest
+
+from repro.cluster import ScallaCluster, ScallaConfig
+
+
+def tree_cluster():
+    c = ScallaCluster(
+        8,
+        config=ScallaConfig(
+            seed=401,
+            fanout=4,  # manager -> 2 supervisors -> 8 servers
+            heartbeat_interval=0.2,
+            disconnect_timeout=0.7,
+            drop_timeout=30.0,
+            relogin_timeout=0.5,
+            full_delay=1.0,
+        ),
+    )
+    # One replica in each supervisor's subtree (servers 0-3 vs 4-7), so a
+    # whole-subtree outage leaves every file reachable.
+    for i in range(16):
+        c.place(f"/store/t/f{i}.root", c.servers[i % 4], size=64)
+        c.place(f"/store/t/f{i}.root", c.servers[4 + (i % 4)], size=64)
+    c.settle(0.5)
+    return c
+
+
+class TestSupervisorCrash:
+    def test_manager_marks_supervisor_offline(self):
+        cluster = tree_cluster()
+        sup = cluster.topology.supervisors[0]
+        mgr = cluster.manager_cmsd()
+        cluster.node(sup).crash()
+        cluster.run(until=cluster.sim.now + 2.0)
+        slot = mgr.membership.slot_of(sup)
+        assert slot is not None and not mgr.membership.slot(slot).online
+
+    def test_files_under_other_supervisor_unaffected(self):
+        cluster = tree_cluster()
+        # Find a file served via supervisor 1's subtree.
+        res = cluster.run_process(cluster.client().open("/store/t/f0.root"), limit=60)
+        serving_sup = cluster.topology.nodes[res.node].parents[0]
+        other_sup = next(s for s in cluster.topology.supervisors if s != serving_sup)
+        cluster.node(other_sup).crash()
+        cluster.run(until=cluster.sim.now + 2.0)
+        res2 = cluster.run_process(cluster.client().open("/store/t/f0.root"), limit=60)
+        assert res2.size == 64
+
+    def test_replica_under_other_supervisor_takes_over(self):
+        """copies=2 round-robin puts replicas in different subtrees, so a
+        whole subtree outage still leaves every file reachable."""
+        cluster = tree_cluster()
+        sup = cluster.topology.supervisors[0]
+        cluster.node(sup).crash()
+        cluster.run(until=cluster.sim.now + 2.0)
+        for i in range(0, 16, 3):
+            res = cluster.run_process(
+                cluster.client().open(f"/store/t/f{i}.root"), limit=120
+            )
+            serving_sup = cluster.topology.nodes[res.node].parents[0]
+            assert serving_sup != sup
+
+    def test_supervisor_restart_reattaches_subtree(self):
+        cluster = tree_cluster()
+        sup = cluster.topology.supervisors[0]
+        subtree = set(cluster.topology.nodes[sup].children)
+        cluster.node(sup).crash()
+        cluster.run(until=cluster.sim.now + 2.0)
+        cluster.node(sup).restart()
+        cluster.run(until=cluster.sim.now + 3.0)
+        # The restarted (state-less) supervisor re-learned its children...
+        sup_cmsd = cluster.node(sup).cmsd
+        assert sup_cmsd.membership.member_count() == len(subtree)
+        # ...and the manager sees it online again.
+        mgr = cluster.manager_cmsd()
+        assert mgr.membership.slot(mgr.membership.slot_of(sup)).online
+        # Files in that subtree resolve through it once more.
+        res = cluster.run_process(cluster.client().open("/store/t/f1.root"), limit=120)
+        assert res.size == 64
+
+
+class TestResponseCompression:
+    def test_compression_ratio_measured(self):
+        """Quantify §II-B2's compression: with every leaf holding the file,
+        the manager hears from supervisors only — a fanout-factor reduction
+        in upward traffic."""
+        cluster = tree_cluster()
+        for s in cluster.servers:
+            cluster.place("/store/everywhere.root", s, size=32)
+        mgr = cluster.manager_cmsd()
+        h0 = mgr.stats.haves_received
+        cluster.run_process(cluster.client().open("/store/everywhere.root"), limit=60)
+        cluster.settle(0.05)
+        upward = mgr.stats.haves_received - h0
+        leaf_responses = sum(
+            cluster.node(s).cmsd.stats.haves_sent for s in cluster.servers
+        )
+        assert leaf_responses == 8  # every leaf answered its supervisor
+        assert upward <= 2  # but the manager heard at most one per supervisor

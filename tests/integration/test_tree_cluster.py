@@ -1,0 +1,100 @@
+"""Integration: multi-level (supervisor) trees.
+
+Uses a small fanout so a two/three-level tree stays cheap: fanout=4 with 16
+servers gives manager -> 4 supervisors -> 16 servers.
+"""
+
+import pytest
+
+from repro.cluster import ScallaCluster, ScallaConfig
+from repro.cluster.ids import Role
+
+
+@pytest.fixture(scope="module")
+def tree():
+    c = ScallaCluster(16, config=ScallaConfig(seed=11, fanout=4))
+    c.populate([f"/store/data/f{i}.root" for i in range(32)], size=512)
+    c.settle()
+    return c
+
+
+class TestTreeResolution:
+    def test_topology_is_two_levels(self, tree):
+        assert tree.topology.depth() == 2
+        assert len(tree.topology.supervisors) == 4
+
+    def test_open_descends_through_supervisor(self, tree):
+        client = tree.client()
+        res = tree.run_process(client.open("/store/data/f5.root"), limit=60)
+        assert res.redirects == 2  # manager -> supervisor -> server
+        assert tree.node(res.node).fs.exists("/store/data/f5.root")
+
+    def test_every_file_reachable(self, tree):
+        client = tree.client()
+        for i in range(0, 32, 5):
+            res = tree.run_process(client.open(f"/store/data/f{i}.root"), limit=60)
+            assert res.size == 512
+
+    def test_supervisor_compresses_responses(self, tree):
+        """The manager sees at most one HaveFile per supervisor per file,
+        no matter how many leaf servers answered below (§II-B2)."""
+        c = ScallaCluster(16, config=ScallaConfig(seed=12, fanout=4))
+        # Every server holds the file: worst case for response compression.
+        for s in c.servers:
+            c.place("/store/hot.root", s, size=64)
+        c.settle()
+        mgr = c.manager_cmsd()
+        c.run_process(c.client().open("/store/hot.root"), limit=60)
+        # 4 supervisors can answer; 16 leaf responses were compressed.
+        assert mgr.stats.haves_received <= 4
+
+    def test_supervisor_caches_after_first_query(self, tree):
+        client = tree.client()
+        res = tree.run_process(client.open("/store/data/f9.root"), limit=60)
+        sup_name = tree.topology.nodes[res.node].parents[0]
+        sup = tree.node(sup_name).cmsd
+        queries_before = sup.stats.queries_sent
+        tree.run_process(tree.client().open("/store/data/f9.root"), limit=60)
+        assert sup.stats.queries_sent == queries_before
+
+    def test_create_descends_tree(self, tree):
+        client = tree.client()
+        res = tree.run_process(
+            client.open("/store/data/created.root", mode="w", create=True), limit=120
+        )
+        node = tree.node(res.node)
+        assert node.role is Role.SERVER
+        assert node.fs.exists("/store/data/created.root")
+
+    def test_created_file_visible_at_manager_level(self, tree):
+        client = tree.client()
+        tree.run_process(client.open("/store/data/adv.root", mode="w", create=True), limit=120)
+        tree.settle(0.01)
+        res = tree.run_process(tree.client().open("/store/data/adv.root"), limit=60)
+        assert res.size == 0
+
+
+class TestDeepTree:
+    def test_three_level_tree_resolves(self):
+        c = ScallaCluster(8, config=ScallaConfig(seed=13, fanout=2))
+        assert c.topology.depth() == 3
+        c.populate(["/store/deep.root"], size=256)
+        c.settle()
+        res = c.run_process(c.client().open("/store/deep.root"), limit=60)
+        assert res.redirects == 3
+        assert res.size == 256
+
+    def test_latency_grows_linearly_with_depth(self):
+        """§II-B5: cached redirection costs <50 µs *per tree level*."""
+        lat = {}
+        for n, fanout in ((4, 64), (16, 4), (8, 2)):
+            c = ScallaCluster(n, config=ScallaConfig(seed=14, fanout=fanout))
+            c.populate(["/store/x.root"], size=64)
+            c.settle()
+            c.run_process(c.client().open("/store/x.root"), limit=60)  # warm caches
+            res = c.run_process(c.client().open("/store/x.root"), limit=60)
+            lat[c.topology.depth()] = res.latency
+        assert lat[1] < lat[2] < lat[3]
+        # Each extra level adds well under 50 µs once cached.
+        assert lat[2] - lat[1] < 50e-6
+        assert lat[3] - lat[2] < 50e-6

@@ -1,0 +1,128 @@
+"""Integration: Qserv distributed dispatch over the Scalla file abstraction."""
+
+import random
+
+import pytest
+
+from repro.cluster import ScallaCluster, ScallaConfig
+from repro.qserv import (
+    Query,
+    QservMaster,
+    QservWorker,
+    SkyPartitioner,
+    make_catalog_chunk,
+)
+
+
+def build(n_servers=4, ra=4, dec=2, rows=50, copies=1, seed=5, **cfg_kw):
+    """A Qserv deployment: chunks spread (optionally replicated) over servers."""
+    cfg = ScallaConfig(seed=seed, exports=("/qserv",), **cfg_kw)
+    cluster = ScallaCluster(n_servers, config=cfg)
+    part = SkyPartitioner(ra_stripes=ra, dec_stripes=dec)
+    rng = random.Random(1)
+    workers = {}
+    tables = {}
+    for i, p in enumerate(part.all_chunks()):
+        tables[p] = make_catalog_chunk(
+            p, partitioner=part, rows=rows, rng=rng, id_base=p * 10_000
+        )
+        for c in range(copies):
+            server = cluster.servers[(i + c) % len(cluster.servers)]
+            if server not in workers:
+                workers[server] = QservWorker(cluster.node(server))
+            workers[server].host_chunk(p, tables[p], cnsd=cluster.cnsd)
+    cluster.settle()
+    master = QservMaster(cluster.client("qserv-master"))
+    return cluster, part, master, workers, tables
+
+
+class TestDispatch:
+    def test_full_sky_count_is_exact(self):
+        cluster, part, master, workers, tables = build()
+        expected = sum(
+            sum(1 for r in t.rows if r.mag <= 20.0) for t in tables.values()
+        )
+        outcome = cluster.run_process(
+            master.run_query(Query(kind="count", mag_max=20.0), part.all_chunks()), limit=120
+        )
+        assert outcome.result.count == expected
+        assert outcome.result.rows_scanned == 50 * part.n_chunks
+
+    def test_point_query_single_chunk(self):
+        cluster, part, master, workers, tables = build()
+        target = tables[3].rows[7]
+        outcome = cluster.run_process(
+            master.run_query(Query(kind="point", object_id=target.object_id), [3]), limit=120
+        )
+        assert outcome.result.rows == [
+            (target.object_id, target.ra, target.dec, target.mag)
+        ]
+
+    def test_box_query_prunes_chunks(self):
+        """Partial-sky queries touch only overlapping chunks — the
+        'quick retrieval' class of §IV-B."""
+        cluster, part, master, workers, tables = build()
+        chunks = part.chunks_overlapping(0, 80, -90, -10)
+        assert 0 < len(chunks) < part.n_chunks
+        outcome = cluster.run_process(
+            master.run_query(Query(kind="count", ra_max=80.0, dec_max=-10.0), chunks),
+            limit=120,
+        )
+        assert outcome.chunks == len(chunks)
+        expected = sum(
+            sum(1 for r in tables[c].rows if r.ra <= 80 and r.dec <= -10)
+            for c in chunks
+        )
+        assert outcome.result.count == expected
+
+    def test_no_cluster_size_configuration(self):
+        """'There is no configuration for the number of nodes': the master
+        object is built from a client and nothing else."""
+        cluster, part, master, workers, tables = build()
+        assert not hasattr(master, "workers")
+        assert master.channels == {}  # learned lazily, not configured
+        cluster.run_process(master.run_query(Query(kind="count"), [0, 1]), limit=120)
+        assert set(master.channels) == {0, 1}
+
+    def test_channels_cached_across_queries(self):
+        cluster, part, master, workers, tables = build()
+        cluster.run_process(master.run_query(Query(kind="count"), [0]), limit=120)
+        locates_before = master.client.stats.locates
+        cluster.run_process(master.run_query(Query(kind="count"), [0]), limit=120)
+        assert master.client.stats.locates == locates_before  # channel reused
+
+    def test_scatter_gather_is_parallel(self):
+        """8 chunks at ~250 µs each must take ~one chunk time, not eight."""
+        cluster, part, master, workers, tables = build()
+        outcome = cluster.run_process(
+            master.run_query(Query(kind="count"), part.all_chunks()), limit=120
+        )
+        slowest = max(outcome.per_chunk_latency.values())
+        assert outcome.duration < slowest * 2.5
+
+    def test_mean_mag_aggregate(self):
+        cluster, part, master, workers, tables = build()
+        all_rows = [r for t in tables.values() for r in t.rows]
+        expected = sum(r.mag for r in all_rows) / len(all_rows)
+        outcome = cluster.run_process(
+            master.run_query(Query(kind="mean_mag"), part.all_chunks()), limit=120
+        )
+        assert outcome.result.mean_mag == pytest.approx(expected)
+
+
+class TestWorkerFailure:
+    def test_master_redispatches_to_replica(self):
+        """Worker loss surfaces as a failed file op; the master re-locates
+        the chunk and lands on the replica — fault tolerance purely through
+        Scalla's mapping."""
+        cluster, part, master, workers, tables = build(copies=2, heartbeat_interval=0.2, disconnect_timeout=0.7)
+        # Learn channels first.
+        cluster.run_process(master.run_query(Query(kind="count"), [0]), limit=120)
+        victim = master.channels[0]
+        cluster.node(victim).crash()
+        cluster.settle(1.0)  # let the manager notice the disconnect
+        outcome = cluster.run_process(master.run_query(Query(kind="count"), [0]), limit=240)
+        expected = sum(1 for r in tables[0].rows if r.mag <= 99.0)
+        assert outcome.result.count == expected
+        assert master.channels[0] != victim
+        assert outcome.redispatches >= 1

@@ -1,0 +1,123 @@
+"""Unit tests for the Qserv partitioner and query engine."""
+
+import random
+
+import pytest
+
+from repro.qserv.engine import ChunkTable, Query, QueryResult, Row, make_catalog_chunk
+from repro.qserv.partition import SkyPartitioner, chunk_path, query_path, result_path
+
+
+class TestPartitioner:
+    def test_chunk_count(self):
+        p = SkyPartitioner(ra_stripes=4, dec_stripes=2)
+        assert p.n_chunks == 8
+        assert p.all_chunks() == list(range(8))
+
+    def test_chunk_of_corners(self):
+        p = SkyPartitioner(ra_stripes=4, dec_stripes=2)
+        assert p.chunk_of(0.0, -90.0) == 0
+        assert p.chunk_of(359.9, 89.9) == 7
+
+    def test_chunk_boundaries(self):
+        p = SkyPartitioner(ra_stripes=4, dec_stripes=2)
+        assert p.chunk_of(89.9, -90) == 0
+        assert p.chunk_of(90.0, -90) == 1
+        assert p.chunk_of(0.0, 0.0) == 4  # second dec stripe
+
+    def test_out_of_range(self):
+        p = SkyPartitioner()
+        with pytest.raises(ValueError):
+            p.chunk_of(360.0, 0.0)
+        with pytest.raises(ValueError):
+            p.chunk_of(0.0, 90.0)
+
+    def test_box_overlap(self):
+        p = SkyPartitioner(ra_stripes=4, dec_stripes=2)
+        chunks = p.chunks_overlapping(0.0, 100.0, -90.0, -1.0)
+        assert chunks == [0, 1]
+        assert p.chunks_overlapping(0, 359.9, -90, 89.9) == list(range(8))
+
+    def test_empty_box_rejected(self):
+        with pytest.raises(ValueError):
+            SkyPartitioner().chunks_overlapping(10, 5, 0, 1)
+
+    def test_paths(self):
+        assert chunk_path(3) == "/qserv/chunk/00003"
+        assert query_path(3, 7) == "/qserv/chunk/00003/q00000007.query"
+        assert result_path(3, 7) == "/qserv/chunk/00003/q00000007.result"
+
+
+class TestQuerySerialization:
+    def test_roundtrip(self):
+        q = Query(kind="scan", ra_min=10, ra_max=20, mag_max=22.5)
+        assert Query.from_bytes(q.to_bytes()) == q
+
+    def test_unknown_kind_rejected(self):
+        bad = Query(kind="scan").to_bytes().replace(b"scan", b"drop")
+        with pytest.raises(ValueError):
+            Query.from_bytes(bad)
+
+    def test_result_roundtrip(self):
+        r = QueryResult(kind="scan", rows=[(1, 2.0, 3.0, 4.0)], count=1, mag_sum=4.0, rows_scanned=9)
+        back = QueryResult.from_bytes(r.to_bytes())
+        assert back == r
+
+
+class TestChunkTable:
+    def rows(self):
+        return [
+            Row(1, 10.0, 0.0, 15.0),
+            Row(2, 20.0, 10.0, 25.0),
+            Row(3, 30.0, -10.0, 18.0),
+        ]
+
+    def test_point_query(self):
+        t = ChunkTable(self.rows())
+        res = t.execute(Query(kind="point", object_id=2))
+        assert res.count == 1
+        assert res.rows[0][0] == 2
+
+    def test_point_query_missing(self):
+        t = ChunkTable(self.rows())
+        res = t.execute(Query(kind="point", object_id=99))
+        assert res.count == 0 and res.rows == []
+
+    def test_scan_with_box_and_mag(self):
+        t = ChunkTable(self.rows())
+        res = t.execute(Query(kind="scan", ra_min=5, ra_max=25, mag_max=20.0))
+        assert [r[0] for r in res.rows] == [1]
+        assert res.rows_scanned == 3
+
+    def test_count_and_mean(self):
+        t = ChunkTable(self.rows())
+        res = t.execute(Query(kind="mean_mag", mag_max=99.0))
+        assert res.count == 3
+        assert res.mag_sum == pytest.approx(58.0)
+
+    def test_merge(self):
+        a = QueryResult(kind="count", count=2, mag_sum=30.0, rows_scanned=10)
+        b = QueryResult(kind="count", count=3, mag_sum=60.0, rows_scanned=20)
+        m = QueryResult.merge([a, b])
+        assert m.count == 5
+        assert m.mean_mag == pytest.approx(18.0)
+        assert m.rows_scanned == 30
+
+    def test_merge_empty(self):
+        assert QueryResult.merge([]).kind == "empty"
+        with pytest.raises(ValueError):
+            _ = QueryResult(kind="count").mean_mag
+
+
+class TestMakeCatalogChunk:
+    def test_rows_land_in_partition(self):
+        p = SkyPartitioner(ra_stripes=4, dec_stripes=4)
+        table = make_catalog_chunk(5, partitioner=p, rows=100, rng=random.Random(0))
+        assert len(table) == 100
+        for row in table.rows:
+            assert p.chunk_of(row.ra, row.dec) == 5
+
+    def test_id_base_offsets(self):
+        p = SkyPartitioner(ra_stripes=2, dec_stripes=2)
+        t = make_catalog_chunk(1, partitioner=p, rows=10, rng=random.Random(1), id_base=500)
+        assert [r.object_id for r in t.rows] == list(range(500, 510))

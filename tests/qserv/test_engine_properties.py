@@ -1,0 +1,129 @@
+"""Property-based tests: chunked execution equals a flat full scan."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qserv.engine import ChunkTable, Query, QueryResult, Row
+from repro.qserv.partition import SkyPartitioner
+
+row_strategy = st.builds(
+    Row,
+    object_id=st.integers(min_value=0, max_value=10**6),
+    ra=st.floats(min_value=0.0, max_value=359.999),
+    dec=st.floats(min_value=-90.0, max_value=89.999),
+    mag=st.floats(min_value=5.0, max_value=35.0),
+)
+
+
+def flat_scan(rows, q: Query):
+    """Reference implementation: one unpartitioned pass."""
+    out = QueryResult(kind=q.kind)
+    for r in rows:
+        out.rows_scanned += 1
+        if not (q.ra_min <= r.ra <= q.ra_max and q.dec_min <= r.dec <= q.dec_max):
+            continue
+        if r.mag > q.mag_max:
+            continue
+        out.count += 1
+        out.mag_sum += r.mag
+        if q.kind == "scan":
+            out.rows.append((r.object_id, r.ra, r.dec, r.mag))
+    return out
+
+
+class TestChunkedEqualsFlat:
+    @given(
+        st.lists(row_strategy, min_size=1, max_size=120),
+        st.floats(min_value=0.0, max_value=350.0),
+        st.floats(min_value=-90.0, max_value=80.0),
+        st.floats(min_value=8.0, max_value=32.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_count_query_partition_invariant(self, rows, ra_min, dec_min, mag_max):
+        """Splitting the catalog by sky chunk and merging chunk results must
+        equal a flat scan — the shared-nothing correctness invariant."""
+        part = SkyPartitioner(ra_stripes=4, dec_stripes=4)
+        q = Query(
+            kind="count",
+            ra_min=ra_min,
+            ra_max=min(ra_min + 120.0, 360.0),
+            dec_min=dec_min,
+            dec_max=min(dec_min + 60.0, 90.0),
+            mag_max=mag_max,
+        )
+        chunks: dict[int, list[Row]] = {}
+        for r in rows:
+            chunks.setdefault(part.chunk_of(r.ra, r.dec), []).append(r)
+        merged = QueryResult.merge(
+            [ChunkTable(rs).execute(q) for rs in chunks.values()]
+        )
+        reference = flat_scan(rows, q)
+        assert merged.count == reference.count
+        assert abs(merged.mag_sum - reference.mag_sum) < 1e-6
+        assert merged.rows_scanned == len(rows)
+
+    @given(st.lists(row_strategy, min_size=1, max_size=80, unique_by=lambda r: r.object_id))
+    @settings(max_examples=40, deadline=None)
+    def test_point_query_finds_every_object_in_its_chunk(self, rows):
+        part = SkyPartitioner(ra_stripes=4, dec_stripes=2)
+        chunks: dict[int, list[Row]] = {}
+        for r in rows:
+            chunks.setdefault(part.chunk_of(r.ra, r.dec), []).append(r)
+        tables = {c: ChunkTable(rs) for c, rs in chunks.items()}
+        for r in rows:
+            c = part.chunk_of(r.ra, r.dec)
+            res = tables[c].execute(Query(kind="point", object_id=r.object_id))
+            assert res.count == 1
+            assert res.rows[0][0] == r.object_id
+
+    @given(st.lists(row_strategy, min_size=1, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_box_pruning_loses_nothing(self, rows):
+        """Executing only on chunks overlapping the box must find exactly
+        the rows a flat scan finds."""
+        part = SkyPartitioner(ra_stripes=4, dec_stripes=4)
+        q = Query(kind="count", ra_min=40.0, ra_max=200.0, dec_min=-30.0, dec_max=45.0)
+        chunks: dict[int, list[Row]] = {}
+        for r in rows:
+            chunks.setdefault(part.chunk_of(r.ra, r.dec), []).append(r)
+        overlapping = set(part.chunks_overlapping(q.ra_min, q.ra_max, q.dec_min, q.dec_max))
+        merged = QueryResult.merge(
+            [ChunkTable(rs).execute(q) for c, rs in chunks.items() if c in overlapping]
+        )
+        assert merged.count == flat_scan(rows, q).count
+
+    @given(st.lists(row_strategy, min_size=0, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_serialization_roundtrip_any_result(self, rows):
+        q = Query(kind="scan", mag_max=25.0)
+        res = ChunkTable(rows).execute(q)
+        back = QueryResult.from_bytes(res.to_bytes())
+        assert back.count == res.count
+        assert back.rows == res.rows
+
+
+class TestSkyPartitionProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=359.999),
+        st.floats(min_value=-90.0, max_value=89.999),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_every_coordinate_maps_to_valid_chunk(self, ra, dec, rs, ds):
+        part = SkyPartitioner(ra_stripes=rs, dec_stripes=ds)
+        c = part.chunk_of(ra, dec)
+        assert 0 <= c < part.n_chunks
+
+    @given(
+        st.floats(min_value=0.0, max_value=359.0),
+        st.floats(min_value=-90.0, max_value=88.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_point_always_inside_its_overlap_set(self, ra, dec):
+        part = SkyPartitioner(ra_stripes=8, dec_stripes=4)
+        c = part.chunk_of(ra, dec)
+        box = part.chunks_overlapping(ra, min(ra + 0.5, 359.999), dec, min(dec + 0.5, 89.999))
+        assert c in box

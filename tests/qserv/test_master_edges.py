@@ -1,0 +1,72 @@
+"""Qserv master edge cases: unhosted chunks, timeouts, empty results."""
+
+import pytest
+
+from repro.cluster import ScallaCluster, ScallaConfig
+from repro.cluster.client import ScallaError
+from repro.qserv import (
+    Query,
+    QservMaster,
+    QservMasterConfig,
+    QservWorker,
+    QueryResult,
+    SkyPartitioner,
+    make_catalog_chunk,
+)
+
+
+def small_qserv():
+    import random
+
+    cluster = ScallaCluster(
+        2, config=ScallaConfig(seed=351, exports=("/qserv",), full_delay=0.5)
+    )
+    part = SkyPartitioner(ra_stripes=2, dec_stripes=1)
+    worker = QservWorker(cluster.node(cluster.servers[0]))
+    table = make_catalog_chunk(0, partitioner=part, rows=20, rng=random.Random(0))
+    worker.host_chunk(0, table, cnsd=cluster.cnsd)
+    cluster.settle()
+    return cluster, part, worker
+
+
+class TestMasterEdges:
+    def test_unhosted_chunk_fails_loudly(self):
+        cluster, part, _w = small_qserv()
+        master = QservMaster(cluster.client("m"))
+        # Chunk 1 was never hosted anywhere: the locate itself fails.
+        with pytest.raises(ScallaError):
+            cluster.run_process(master.run_query(Query(kind="count"), [1]), limit=120)
+
+    def test_empty_chunk_result_is_zero(self):
+        import random
+
+        cluster, part, worker = small_qserv()
+        # Host a chunk whose rows all exceed the magnitude cut.
+        master = QservMaster(cluster.client("m"))
+        out = cluster.run_process(
+            master.run_query(Query(kind="count", mag_max=0.0), [0]), limit=120
+        )
+        assert out.result.count == 0
+        assert out.result.rows_scanned == 20
+
+    def test_chunk_timeout_configurable(self):
+        cluster, part, worker = small_qserv()
+        # A pathological per-row cost makes the query outlast the timeout.
+        worker.config.per_row_cost = 10.0
+        master = QservMaster(
+            cluster.client("m"),
+            config=QservMasterConfig(chunk_timeout=1.0, max_attempts=1),
+        )
+        with pytest.raises(ScallaError):
+            cluster.run_process(master.run_query(Query(kind="count"), [0]), limit=600)
+
+    def test_merge_of_empty_outcome(self):
+        assert QueryResult.merge([]).kind == "empty"
+
+    def test_dispatch_counts(self):
+        cluster, part, _w = small_qserv()
+        master = QservMaster(cluster.client("m"))
+        cluster.run_process(master.run_query(Query(kind="count"), [0]), limit=120)
+        cluster.run_process(master.run_query(Query(kind="count"), [0]), limit=120)
+        assert master.dispatches == 2
+        assert master.redispatches == 0

@@ -1,0 +1,123 @@
+"""Kernel failure-propagation paths: AllOf/AnyOf with failing children."""
+
+import pytest
+
+from repro.sim.errors import SimError
+from repro.sim.kernel import Simulator
+
+
+class TestConditionFailures:
+    def test_all_of_fails_on_first_child_failure(self):
+        sim = Simulator()
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise ValueError("child died")
+
+        def good():
+            yield sim.timeout(5.0)
+            return "ok"
+
+        def parent():
+            with pytest.raises(ValueError, match="child died"):
+                yield sim.all_of([sim.process(bad()), sim.process(good())])
+            return sim.now
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == 1.0  # failed as soon as the bad child did
+
+    def test_any_of_fails_if_first_completion_is_failure(self):
+        sim = Simulator()
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise RuntimeError("fast failure")
+
+        def slow():
+            yield sim.timeout(10.0)
+
+        def parent():
+            with pytest.raises(RuntimeError):
+                yield sim.any_of([sim.process(bad()), sim.process(slow())])
+            return "handled"
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == "handled"
+
+    def test_any_of_success_beats_later_failure(self):
+        sim = Simulator()
+
+        def fast():
+            yield sim.timeout(1.0)
+            return "winner"
+
+        def bad():
+            yield sim.timeout(5.0)
+            raise RuntimeError("too late to matter")
+
+        def parent():
+            results = yield sim.any_of([sim.process(fast()), sim.process(bad())])
+            return list(results.values())
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == ["winner"]
+
+    def test_unjoined_process_failure_is_contained(self):
+        """A failing process nobody joins must not crash the simulation."""
+        sim = Simulator()
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise ValueError("nobody is listening")
+
+        def bystander():
+            yield sim.timeout(5.0)
+            return "unaffected"
+
+        doomed = sim.process(bad())
+        p = sim.process(bystander())
+        sim.run()
+        assert p.value == "unaffected"
+        assert doomed.triggered
+        with pytest.raises(ValueError):
+            doomed.value
+
+    def test_joining_already_failed_process_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise KeyError("gone")
+
+        doomed = sim.process(bad())
+
+        def late_joiner():
+            yield sim.timeout(3.0)
+            with pytest.raises(KeyError):
+                yield doomed
+            return "saw it"
+
+        p = sim.process(late_joiner())
+        sim.run()
+        assert p.value == "saw it"
+
+    def test_event_fail_propagates_to_waiter(self):
+        sim = Simulator()
+        gate = sim.event()
+
+        def failer():
+            yield sim.timeout(2.0)
+            gate.fail(OSError("broken gate"))
+
+        def waiter():
+            with pytest.raises(OSError):
+                yield gate
+            return sim.now
+
+        p = sim.process(waiter())
+        sim.process(failer())
+        sim.run()
+        assert p.value == 2.0

@@ -1,0 +1,87 @@
+"""Unit tests for the latency distribution models."""
+
+import random
+
+import pytest
+
+from repro.sim.latency import Empirical, Fixed, LogNormal, Uniform
+
+
+class TestFixed:
+    def test_sample_is_constant(self):
+        m = Fixed(0.005)
+        rng = random.Random(0)
+        assert all(m.sample(rng) == 0.005 for _ in range(10))
+        assert m.mean == 0.005
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Fixed(-1.0)
+
+    def test_repr(self):
+        assert "0.005" in repr(Fixed(0.005))
+
+
+class TestUniform:
+    def test_samples_within_bounds(self):
+        m = Uniform(1e-3, 2e-3)
+        rng = random.Random(1)
+        for _ in range(200):
+            assert 1e-3 <= m.sample(rng) <= 2e-3
+
+    def test_mean(self):
+        assert Uniform(1.0, 3.0).mean == 2.0
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(2.0, 1.0)
+        with pytest.raises(ValueError):
+            Uniform(-1.0, 1.0)
+
+
+class TestLogNormal:
+    def test_median_approximately_respected(self):
+        m = LogNormal(median=100e-6, sigma=0.5)
+        rng = random.Random(2)
+        samples = sorted(m.sample(rng) for _ in range(2001))
+        measured_median = samples[1000]
+        assert 70e-6 < measured_median < 140e-6
+
+    def test_right_skew(self):
+        """Heavy tail: mean exceeds the median."""
+        m = LogNormal(median=1.0, sigma=1.0)
+        assert m.mean > 1.0
+        rng = random.Random(3)
+        samples = [m.sample(rng) for _ in range(2000)]
+        assert sum(samples) / len(samples) > sorted(samples)[1000] * 1.2
+
+    def test_all_positive(self):
+        m = LogNormal(median=1e-4, sigma=2.0)
+        rng = random.Random(4)
+        assert all(m.sample(rng) > 0 for _ in range(500))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogNormal(median=0.0, sigma=1.0)
+        with pytest.raises(ValueError):
+            LogNormal(median=1.0, sigma=-1.0)
+
+
+class TestEmpirical:
+    def test_resamples_only_given_values(self):
+        m = Empirical([0.001, 0.002, 0.003])
+        rng = random.Random(5)
+        for _ in range(100):
+            assert m.sample(rng) in (0.001, 0.002, 0.003)
+
+    def test_mean(self):
+        assert Empirical([1.0, 3.0]).mean == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+        with pytest.raises(ValueError):
+            Empirical([1.0, -2.0])
+
+    def test_repr_shows_count(self):
+        assert "n=2" in repr(Empirical([1.0, 2.0]))

@@ -1,0 +1,88 @@
+"""Unit tests for measurement utilities."""
+
+import math
+
+import pytest
+
+from repro.sim.monitor import Histogram, TimeSeries
+
+
+class TestHistogram:
+    def test_percentiles_nearest_rank(self):
+        h = Histogram()
+        h.extend(range(1, 101))  # 1..100
+        assert h.percentile(50) == 50
+        assert h.percentile(95) == 95
+        assert h.percentile(99) == 99
+        assert h.percentile(100) == 100
+        assert h.percentile(0) == 1
+
+    def test_single_value(self):
+        h = Histogram()
+        h.record(7.0)
+        assert h.percentile(50) == 7.0
+        assert h.mean == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(50)
+        with pytest.raises(ValueError):
+            _ = Histogram().mean
+
+    def test_bad_percentile(self):
+        h = Histogram()
+        h.record(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_record_after_query(self):
+        h = Histogram()
+        h.record(5.0)
+        assert h.percentile(50) == 5.0
+        h.record(1.0)
+        assert h.percentile(0) == 1.0
+
+    def test_summary(self):
+        h = Histogram()
+        h.extend([1.0, 2.0, 3.0, 4.0])
+        s = h.summary()
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0 and s.maximum == 4.0
+
+    def test_empty_summary_is_nan(self):
+        s = Histogram().summary()
+        assert s.count == 0
+        assert math.isnan(s.mean)
+
+    def test_format(self):
+        h = Histogram()
+        h.extend([0.001, 0.002])
+        text = h.summary().format(scale=1000, unit="ms")
+        assert "mean=1.50ms" in text
+
+
+class TestTimeSeries:
+    def test_record_and_last(self):
+        ts = TimeSeries()
+        ts.record(0.0, 10.0)
+        ts.record(1.0, 20.0)
+        assert len(ts) == 2
+        assert ts.last() == 20.0
+        assert ts.max() == 20.0
+
+    def test_out_of_order_rejected(self):
+        ts = TimeSeries()
+        ts.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(4.0, 2.0)
+
+    def test_steady_state_mean_skips_warmup(self):
+        ts = TimeSeries()
+        for t in range(10):
+            ts.record(float(t), 0.0 if t < 5 else 100.0)
+        assert ts.steady_state_mean(skip_fraction=0.5) == 100.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries().last()

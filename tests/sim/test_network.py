@@ -1,0 +1,185 @@
+"""Unit tests for the simulated network and failure injection."""
+
+import random
+
+import pytest
+
+from repro.sim.failures import FailureEvent, FailureInjector, random_crash_schedule
+from repro.sim.kernel import Simulator
+from repro.sim.latency import Fixed, Uniform
+from repro.sim.network import Network
+
+
+def make_net(latency=10e-6):
+    sim = Simulator()
+    net = Network(sim, default_latency=Fixed(latency), rng=random.Random(7))
+    a = net.add_host("a")
+    b = net.add_host("b")
+    return sim, net, a, b
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self):
+        sim, net, a, b = make_net(latency=5e-6)
+        got = []
+
+        def receiver():
+            env = yield b.inbox.get()
+            got.append((sim.now, env.payload, env.latency))
+
+        sim.process(receiver())
+        net.send("a", "b", "ping")
+        sim.run()
+        assert got == [(5e-6, "ping", 5e-6)]
+
+    def test_stats_counted(self):
+        sim, net, a, b = make_net()
+        net.send("a", "b", "x", size=100)
+        sim.run()
+        assert net.stats.sent == 1
+        assert net.stats.delivered == 1
+        assert net.stats.bytes_sent == 100
+
+    def test_per_link_latency_override(self):
+        sim, net, a, b = make_net(latency=1.0)
+        net.set_link_latency("a", "b", Fixed(0.25))
+        got = []
+
+        def receiver():
+            env = yield b.inbox.get()
+            got.append(sim.now)
+
+        sim.process(receiver())
+        net.send("a", "b", "x")
+        sim.run()
+        assert got == [0.25]
+
+    def test_unknown_destination_raises(self):
+        sim, net, a, b = make_net()
+        with pytest.raises(KeyError):
+            net.send("a", "ghost", "x")
+
+    def test_duplicate_host_rejected(self):
+        sim, net, a, b = make_net()
+        with pytest.raises(ValueError):
+            net.add_host("a")
+
+    def test_random_latency_is_seeded(self):
+        def run_once():
+            sim = Simulator()
+            net = Network(sim, default_latency=Uniform(1e-6, 1e-3), rng=random.Random(99))
+            net.add_host("a")
+            b = net.add_host("b")
+            times = []
+
+            def receiver():
+                while True:
+                    yield b.inbox.get()
+                    times.append(sim.now)
+
+            sim.process(receiver())
+            for _ in range(10):
+                net.send("a", "b", "x")
+            sim.run()
+            return times
+
+        assert run_once() == run_once()
+
+
+class TestFailures:
+    def test_message_to_dead_host_dropped(self):
+        sim, net, a, b = make_net()
+        net.kill("b")
+        assert not net.send("a", "b", "x")
+        sim.run()
+        assert net.stats.delivered == 0
+        assert net.stats.dropped_dead == 1
+
+    def test_death_during_flight_drops(self):
+        sim, net, a, b = make_net(latency=1.0)
+        net.send("a", "b", "x")
+        sim.run(until=0.5)
+        net.kill("b")
+        sim.run()
+        assert net.stats.delivered == 0
+        assert net.stats.dropped_dead == 1
+
+    def test_revive_restores_delivery(self):
+        sim, net, a, b = make_net()
+        net.kill("b")
+        net.revive("b")
+        net.send("a", "b", "x")
+        sim.run()
+        assert net.stats.delivered == 1
+
+    def test_partition_blocks_both_ways(self):
+        sim, net, a, b = make_net()
+        net.partition("a", "b")
+        assert not net.send("a", "b", "x")
+        assert not net.send("b", "a", "y")
+        assert net.stats.dropped_partition == 2
+        net.heal("a", "b")
+        assert net.send("a", "b", "z")
+        sim.run()
+        assert net.stats.delivered == 1
+
+
+class TestInjector:
+    def test_scheduled_crash_and_restart(self):
+        sim, net, a, b = make_net()
+        crashes, restarts = [], []
+        inj = FailureInjector(
+            sim,
+            net,
+            on_crash=lambda h: crashes.append((sim.now, h)),
+            on_restart=lambda h: restarts.append((sim.now, h)),
+        )
+        inj.schedule(
+            [
+                FailureEvent(at=2.0, kind="crash", target="b"),
+                FailureEvent(at=5.0, kind="restart", target="b"),
+            ]
+        )
+        sim.run()
+        assert crashes == [(2.0, "b")]
+        assert restarts == [(5.0, "b")]
+        assert net.hosts["b"].alive
+
+    def test_partition_events(self):
+        sim, net, a, b = make_net()
+        inj = FailureInjector(sim, net)
+        inj.schedule(
+            [
+                FailureEvent(at=1.0, kind="partition", target=("a", "b")),
+                FailureEvent(at=2.0, kind="heal", target=("a", "b")),
+            ]
+        )
+        sim.run(until=1.5)
+        assert net.partitioned("a", "b")
+        sim.run()
+        assert not net.partitioned("a", "b")
+
+    def test_unknown_kind_rejected(self):
+        sim, net, a, b = make_net()
+        inj = FailureInjector(sim, net)
+        with pytest.raises(ValueError):
+            inj.schedule([FailureEvent(at=0.0, kind="meteor", target="b")])
+
+
+class TestRandomSchedule:
+    def test_pairs_and_horizon(self):
+        rng = random.Random(3)
+        events = random_crash_schedule(
+            rng, ["h1", "h2"], horizon=100.0, crashes=5, min_downtime=1.0, max_downtime=5.0
+        )
+        assert len(events) == 10
+        assert all(0 <= e.at <= 100.0 for e in events)
+        assert sum(e.kind == "crash" for e in events) == 5
+        assert sum(e.kind == "restart" for e in events) == 5
+        assert events == sorted(events, key=lambda e: e.at)
+
+    def test_bad_downtime_range(self):
+        with pytest.raises(ValueError):
+            random_crash_schedule(
+                random.Random(0), ["h"], horizon=10, crashes=1, min_downtime=5, max_downtime=1
+            )

@@ -1,0 +1,124 @@
+"""Unit tests for workload generators."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.workloads.namegen import hep_paths, path_stream, qserv_chunk_path, sequential_paths
+from repro.workloads.popularity import UniformChooser, ZipfChooser, poisson_arrivals
+
+
+class TestNamegen:
+    def test_hep_paths_unique_and_structured(self):
+        paths = hep_paths(500, rng=random.Random(1))
+        assert len(set(paths)) == 500
+        assert all(p.startswith("/store/babar/") for p in paths)
+        assert all(p.endswith(".root") for p in paths)
+
+    def test_hep_paths_deterministic(self):
+        assert hep_paths(50, rng=random.Random(3)) == hep_paths(50, rng=random.Random(3))
+
+    def test_sequential_paths(self):
+        paths = sequential_paths(3)
+        assert paths == [
+            "/store/data/file-00000000.root",
+            "/store/data/file-00000001.root",
+            "/store/data/file-00000002.root",
+        ]
+
+    def test_qserv_chunk_path(self):
+        assert qserv_chunk_path(17) == "/qserv/chunk/00017"
+        assert qserv_chunk_path(17, query_id=3) == "/qserv/chunk/00017/q3"
+
+    def test_path_stream_endless_unique(self):
+        stream = path_stream(random.Random(0))
+        first = list(itertools.islice(stream, 1000))
+        assert len(set(first)) == 1000
+
+
+class TestZipf:
+    def test_rank_one_dominates(self):
+        items = list(range(100))
+        chooser = ZipfChooser(items, s=1.0)
+        rng = random.Random(42)
+        draws = [chooser.choose(rng) for _ in range(5000)]
+        counts = {i: draws.count(i) for i in set(draws)}
+        assert counts.get(0, 0) > counts.get(50, 0) * 5
+
+    def test_expected_top_fraction_monotone(self):
+        chooser = ZipfChooser(range(100), s=1.0)
+        f10 = chooser.expected_top_fraction(10)
+        f50 = chooser.expected_top_fraction(50)
+        assert 0 < f10 < f50 <= 1.0
+
+    def test_s_zero_is_uniform(self):
+        chooser = ZipfChooser(range(10), s=0.0)
+        assert chooser.expected_top_fraction(5) == pytest.approx(0.5)
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfChooser([])
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfChooser([1], s=-1.0)
+
+    def test_uniform_chooser(self):
+        chooser = UniformChooser(["a", "b"])
+        rng = random.Random(0)
+        picks = {chooser.choose(rng) for _ in range(100)}
+        assert picks == {"a", "b"}
+        assert chooser.expected_top_fraction(1) == 0.5
+
+
+class TestPoisson:
+    def test_rate_roughly_respected(self):
+        rng = random.Random(7)
+        times = poisson_arrivals(rng, rate=100.0, horizon=10.0)
+        assert 800 < len(times) < 1200  # ~1000 expected
+        assert all(0 <= t < 10.0 for t in times)
+        assert times == sorted(times)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(random.Random(0), rate=0.0, horizon=1.0)
+
+    def test_deterministic_with_seed(self):
+        a = poisson_arrivals(random.Random(9), 10.0, 5.0)
+        b = poisson_arrivals(random.Random(9), 10.0, 5.0)
+        assert a == b
+
+
+class TestJobs:
+    def test_job_runs_metadata_burst_then_reads(self):
+        from repro.cluster import ScallaCluster, ScallaConfig
+        from repro.workloads.jobs import JobSpec, run_job
+
+        cluster = ScallaCluster(3, config=ScallaConfig(seed=17))
+        paths = [f"/store/j{i}.root" for i in range(5)]
+        cluster.populate(paths, size=8192)
+        cluster.settle()
+        client = cluster.client()
+        result = cluster.run_process(
+            run_job(client, JobSpec(files=tuple(paths), read_bytes=1024)), limit=120
+        )
+        assert len(result.stat_latencies) == 5
+        assert len(result.open_latencies) == 5
+        assert len(result.read_latencies) == 5
+        assert result.failures == 0
+        assert result.metadata_ops == 10
+        assert result.duration > 0
+
+    def test_job_counts_missing_files_as_failures(self):
+        from repro.cluster import ScallaCluster, ScallaConfig
+        from repro.workloads.jobs import JobSpec, run_job
+
+        cluster = ScallaCluster(2, config=ScallaConfig(seed=18, full_delay=0.5))
+        cluster.populate(["/store/ok.root"], size=64)
+        cluster.settle()
+        client = cluster.client()
+        spec = JobSpec(files=("/store/ok.root", "/store/gone.root"))
+        result = cluster.run_process(run_job(client, spec), limit=240)
+        assert result.failures >= 1
+        assert len(result.read_latencies) == 1
