@@ -17,7 +17,7 @@ the data-plane open) for cold and warm caches at tree depths 1..3.
 from repro.cluster import ScallaCluster, ScallaConfig
 from repro.core.models import PaperClaims
 
-from reporting import record, us
+from reporting import record, record_snapshot, us
 
 CLAIMS = PaperClaims()
 
@@ -35,13 +35,15 @@ def locate_latency(cluster, path):
 
 
 def run_depth(n, fanout, seed=51):
-    cluster = ScallaCluster(n, config=ScallaConfig(seed=seed, fanout=fanout))
+    cluster = ScallaCluster(
+        n, config=ScallaConfig(seed=seed, fanout=fanout, observability=True)
+    )
     cluster.populate(["/store/probe.root"], size=64)
     cluster.settle()
     depth = cluster.topology.depth()
     cold = locate_latency(cluster, "/store/probe.root")
     warm = locate_latency(cluster, "/store/probe.root")
-    return depth, cold, warm
+    return depth, cold, warm, cluster
 
 
 def test_cached_latency_under_50us_per_level(benchmark):
@@ -50,12 +52,21 @@ def test_cached_latency_under_50us_per_level(benchmark):
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = []
-    for depth, cold, warm in results:
+    for depth, cold, warm, _cluster in results:
         per_level = warm / depth
         rows.append((depth, us(cold), us(warm), us(per_level)))
         assert per_level < CLAIMS.cached_latency_per_level, (
             f"depth {depth}: cached {per_level * 1e6:.1f}us/level >= 50us"
         )
+    # Observability snapshot from the deepest run: one cold + one warm
+    # locate, so the derived hit ratio and message fanout are inspectable.
+    deepest = max(results, key=lambda r: r[0])[3]
+    snap = deepest.obs_snapshot(extra={"experiment": "E1", "depth": max(r[0] for r in results)})
+    d = snap["derived"]
+    assert d["resolutions"] == 2  # cold + warm locate
+    assert 0.0 < d["cache_hit_ratio"] <= 1.0
+    assert d["messages_per_resolution"] > 0
+    record_snapshot("E1", snap)
     record(
         "E1",
         "locate latency: cold vs warm cache by tree depth",
@@ -74,7 +85,7 @@ def test_uncached_latency_near_150us(benchmark):
     def run():
         return run_depth(64, 64)
 
-    depth, cold, warm = benchmark.pedantic(run, rounds=1, iterations=1)
+    depth, cold, warm, _cluster = benchmark.pedantic(run, rounds=1, iterations=1)
     assert depth == 1
     # ~150 us claim: accept the band the paper's "depending on the network
     # speed" hedges — 100..250 us.
@@ -97,7 +108,7 @@ def test_latency_additive_in_depth(benchmark):
         return [run_depth(4, 64), run_depth(16, 4), run_depth(8, 2), run_depth(16, 2)]
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
-    by_depth = {d: w for d, _c, w in results}
+    by_depth = {d: w for d, _c, w, _cl in results}
     increments = [
         by_depth[d + 1] - by_depth[d] for d in sorted(by_depth) if d + 1 in by_depth
     ]

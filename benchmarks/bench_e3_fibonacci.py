@@ -36,7 +36,7 @@ POW2_SIZE = 32768  # 2^15, the neighbouring power of two
 
 def chain_cost(hashes, modulus, *, pow2):
     chains = Counter((h & (modulus - 1)) if pow2 else (h % modulus) for h in hashes)
-    return sum(l * l for l in chains.values()) / len(hashes)
+    return sum(c * c for c in chains.values()) / len(hashes)
 
 
 def max_chain(hashes, modulus, *, pow2):

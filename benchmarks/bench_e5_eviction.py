@@ -65,7 +65,7 @@ def test_tick_sweeps_one_64th_linearly(benchmark):
         "E5",
         "per-tick sweep size and cost vs cache population",
         ["population", "live objects", "swept this tick", "fraction", "tick wall time (s)"],
-        [(p, l, s, f, f"{c:.6f}") for p, l, s, f, c in rows],
+        [(p, live, s, f, f"{c:.6f}") for p, live, s, f, c in rows],
         notes="Each tick touches ~1/64 (1.6%) of the cache; cost linear in population.",
     )
 

@@ -13,19 +13,17 @@ Paper claims reproduced here (simulated time):
   response times (log-normal tail test: zero missed responses).
 """
 
-import random
-
 from repro.cluster import ScallaCluster, ScallaConfig
 from repro.sim.latency import LogNormal
 from repro.sim.monitor import Histogram
 
-from reporting import record, us
+from reporting import record, record_snapshot, us
 
 N_FILES = 50
 
 
 def run_cluster(fast_response: bool, *, server_latency=None):
-    cfg = ScallaConfig(seed=71, fast_response=fast_response)
+    cfg = ScallaConfig(seed=71, fast_response=fast_response, observability=True)
     if server_latency is not None:
         cfg.server_service = server_latency
     cluster = ScallaCluster(16, config=cfg)
@@ -47,11 +45,21 @@ def run_cluster(fast_response: bool, *, server_latency=None):
 
 def test_fast_response_vs_full_delay(benchmark):
     def run():
-        _c1, with_queue = run_cluster(True)
+        c1, with_queue = run_cluster(True)
         _c2, without = run_cluster(False)
-        return with_queue, without
+        snap = c1.obs_snapshot(extra={"experiment": "E6", "design": "fast-response"})
+        return with_queue, without, snap
 
-    with_queue, without = benchmark.pedantic(run, rounds=1, iterations=1)
+    with_queue, without, snap = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The snapshot carries the acceptance metrics: queue-wait percentiles
+    # from the manager's fast response queue, hit ratio, message fanout.
+    d = snap["derived"]
+    assert d["resolutions"] == N_FILES
+    assert d["queue_wait"]["count"] > 0, "no anchors waited — queue never engaged?"
+    assert 0 < d["queue_wait"]["p50"] <= d["queue_wait"]["p99"] < 0.133
+    assert d["fast_release_ratio"] == 1.0, "some waiters expired instead of releasing"
+    assert d["messages_per_resolution"] > 0
+    record_snapshot("E6", snap)
     record(
         "E6",
         "cold locate of existing files: fast response queue vs full delay",

@@ -57,3 +57,30 @@ def us(seconds: float) -> str:
 
 def ms(seconds: float) -> str:
     return f"{seconds * 1e3:.2f}ms"
+
+
+def record_snapshot(experiment: str, snapshot: dict, *, echo: bool = True) -> pathlib.Path:
+    """Write a bench's observability snapshot next to its markdown table.
+
+    *snapshot* comes from ``ScallaCluster.obs_snapshot()`` (or
+    ``repro.obs.export.snapshot``).  The file lands at
+    ``benchmarks/results/<experiment>.metrics.json`` — strict JSON, the
+    artifact CI uploads and gates on.  The headline derived numbers are
+    echoed so a bench log shows them without opening the file.
+    """
+    from repro.obs import export
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / f"{experiment.lower()}.metrics.json"
+    export.write(snapshot, out)
+    if echo:
+        d = snapshot.get("derived", {})
+        qw = d.get("queue_wait", {})
+        print(
+            f"[{experiment}] metrics snapshot -> {out.name}: "
+            f"cache_hit_ratio={d.get('cache_hit_ratio', 0.0):.3f} "
+            f"messages_per_resolution={d.get('messages_per_resolution', 0.0):.2f} "
+            f"queue_wait_p50={qw.get('p50', 0.0) * 1e6:.1f}us "
+            f"queue_wait_p99={qw.get('p99', 0.0) * 1e6:.1f}us"
+        )
+    return out

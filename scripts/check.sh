@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Local pre-push check — the same gates CI runs, in the same order.
+#
+#   scripts/check.sh           # lint (if ruff is installed) + tier-1 tests
+#   scripts/check.sh --bench   # also run the E1/E6 smoke benches and
+#                              # validate their metric snapshots
+#
+# Ruff is optional locally (CI always has it): when it is not importable
+# the lint step is skipped with a warning instead of failing, so the
+# script works in minimal containers.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+run_bench=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench) run_bench=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+ruff_cmd=""
+if command -v ruff >/dev/null 2>&1; then
+  ruff_cmd="ruff"
+elif python -c "import ruff" >/dev/null 2>&1; then
+  ruff_cmd="python -m ruff"
+fi
+if [ -n "$ruff_cmd" ]; then
+  echo "== ruff check"
+  $ruff_cmd check src tests benchmarks scripts
+  echo "== ruff format --check (obs + scripts)"
+  $ruff_cmd format --check src/repro/obs scripts
+else
+  echo "== ruff not installed; skipping lint (CI will run it)"
+fi
+
+echo "== tier-1 tests"
+python -m pytest -x -q
+
+if [ "$run_bench" -eq 1 ]; then
+  echo "== smoke benches (E1, E6)"
+  python -m pytest benchmarks/bench_e1_redirection.py \
+                   benchmarks/bench_e6_fastresponse.py \
+                   -p no:cacheprovider -q
+  echo "== snapshot gate"
+  python scripts/check_snapshots.py \
+    benchmarks/results/e1.metrics.json \
+    benchmarks/results/e6.metrics.json
+fi
+
+echo "== all checks passed"

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""CI gate: validate bench observability snapshots.
+
+Usage: check_snapshots.py SNAPSHOT.json [SNAPSHOT.json ...]
+
+Each file must be strict JSON (no NaN/Infinity), carry the repro.obs/1
+schema, and report the headline derived metrics the acceptance criteria
+name: cache-hit ratio, messages per resolution, and queue-wait
+percentiles.  Exits non-zero with a per-file report on any violation, so
+a bench that silently stops exporting metrics fails the pipeline rather
+than uploading an empty artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+
+REQUIRED_DERIVED = (
+    "cache_lookups",
+    "cache_hit_ratio",
+    "resolutions",
+    "messages_per_resolution",
+    "queue_wait",
+    "fast_release_ratio",
+    "evictions",
+    "corrections",
+)
+QUEUE_WAIT_KEYS = ("count", "mean", "p50", "p95", "p99", "minimum", "maximum")
+
+
+def check(path: str) -> list[str]:
+    problems: list[str] = []
+    try:
+        with open(path) as fh:
+            snap = json.load(
+                fh, parse_constant=lambda c: problems.append(f"non-finite literal {c}")
+            )
+    except FileNotFoundError:
+        return ["missing file"]
+    except json.JSONDecodeError as exc:
+        return [f"invalid JSON: {exc}"]
+
+    if snap.get("schema") != "repro.obs/1":
+        problems.append(f"schema is {snap.get('schema')!r}, expected 'repro.obs/1'")
+    derived = snap.get("derived")
+    if not isinstance(derived, dict):
+        problems.append("no 'derived' section")
+        return problems
+    for key in REQUIRED_DERIVED:
+        if key not in derived:
+            problems.append(f"derived.{key} missing")
+    qw = derived.get("queue_wait")
+    if isinstance(qw, dict):
+        for key in QUEUE_WAIT_KEYS:
+            value = qw.get(key)
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                problems.append(f"derived.queue_wait.{key} is {value!r}")
+    if not derived.get("resolutions"):
+        problems.append("derived.resolutions is zero — the bench resolved nothing")
+    if not derived.get("cache_lookups"):
+        problems.append("derived.cache_lookups is zero — cache instrumentation inactive")
+    if not snap.get("metrics"):
+        problems.append("no metric series recorded")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_snapshots.py SNAPSHOT.json [...]", file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv:
+        problems = check(path)
+        if problems:
+            failed = True
+            print(f"FAIL {path}")
+            for p in problems:
+                print(f"  - {p}")
+        else:
+            with open(path) as fh:
+                d = json.load(fh)["derived"]
+            print(
+                f"ok   {path}: resolutions={d['resolutions']} "
+                f"hit_ratio={d['cache_hit_ratio']:.3f} "
+                f"msgs/resolution={d['messages_per_resolution']:.2f} "
+                f"queue_wait_p99={d['queue_wait']['p99'] * 1e6:.1f}us"
+            )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

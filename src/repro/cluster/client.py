@@ -105,6 +105,7 @@ class ScallaClient:
         *,
         config: ClientConfig | None = None,
         rng: random.Random | None = None,
+        obs=None,
     ) -> None:
         if not managers:
             raise ValueError("need at least one manager")
@@ -116,6 +117,16 @@ class ScallaClient:
         self.rng = rng if rng is not None else random.Random(0)
         self.host = network.add_host(name)
         self.stats = ClientStats()
+        # Observability (repro.obs): the client is where a resolution
+        # trace is born (locate issued) and where it dies (verdict known).
+        self._obs = obs
+        if obs is not None:
+            m = obs.metrics
+            self._m_locates = m.counter("client_locates_total", node=name)
+            self._m_redirects = m.counter("client_redirects_total", node=name)
+            self._m_waits = m.counter("client_waits_total", node=name)
+            self._m_opens = m.counter("client_opens_total", node=name)
+            self._m_resolve = m.histogram("client_resolve_seconds", node=name)
         self._next_req = 1
         self._pending: dict[int, object] = {}
         self._proc = sim.process(self._inbox_loop(), name=f"client:{name}")
@@ -166,6 +177,25 @@ class ScallaClient:
         return node, pending
 
     def _locate_full(self, path, mode, create, refresh, avoid):
+        """One full resolution walk, wrapped in a resolution trace."""
+        obs = self._obs
+        if obs is None:
+            return (yield from self._locate_walk(path, mode, create, refresh, avoid, None))
+        self._m_locates.inc()
+        trace = obs.tracer.start(path, client=self.name, mode=mode, create=create)
+        t0 = obs.now()
+        try:
+            result = yield from self._locate_walk(path, mode, create, refresh, avoid, trace)
+        except BaseException as exc:
+            obs.tracer.finish(trace, outcome=type(exc).__name__)
+            raise
+        self._m_resolve.record(obs.now() - t0)
+        obs.tracer.finish(
+            trace, outcome="resolved", server=result[0], redirects=result[2], waits=result[3]
+        )
+        return result
+
+    def _locate_walk(self, path, mode, create, refresh, avoid, trace):
         contact = self._current_manager_cmsd()
         at_manager = True
         redirects = waits = 0
@@ -195,10 +225,21 @@ class ScallaClient:
                 self._failover()
                 contact = self._current_manager_cmsd()
                 at_manager = True
+                if trace is not None:
+                    trace.event("client.failover", self._obs.now(), node=self.name)
                 continue
             if isinstance(resp, pr.Redirect):
                 redirects += 1
                 self.stats.redirects += 1
+                if trace is not None:
+                    self._m_redirects.inc()
+                    trace.event(
+                        "client.redirect",
+                        self._obs.now(),
+                        node=self.name,
+                        target=resp.target,
+                        pending=resp.pending,
+                    )
                 if redirects > self.config.max_hops:
                     raise ScallaError(f"redirect loop resolving {path!r}")
                 if resp.target_role == Role.SERVER.value:
@@ -211,6 +252,9 @@ class ScallaClient:
             if isinstance(resp, pr.Wait):
                 waits += 1
                 self.stats.waits += 1
+                if trace is not None:
+                    self._m_waits.inc()
+                    trace.event("client.wait", self._obs.now(), node=self.name, delay=resp.delay)
                 retries += 1
                 if retries > self.config.max_retries:
                     raise ScallaError(f"retry budget exhausted for {path!r}")
@@ -253,6 +297,8 @@ class ScallaClient:
             resp = yield from self._request(xrootd_host(node), omsg, self._open_timeout(pending))
             if isinstance(resp, pr.OpenAck):
                 self.stats.opens += 1
+                if self._obs is not None:
+                    self._m_opens.inc()
                 return OpenResult(
                     path=path,
                     node=node,

@@ -119,12 +119,18 @@ class ChildInfo:
 
 @dataclass(frozen=True)
 class _ClientWaiter:
-    """Fast-response-queue payload for a waiting client."""
+    """Fast-response-queue payload for a waiting client.
+
+    ``span`` is the open ``rq.wait`` trace span (None when tracing is off);
+    whoever releases the waiter — a server response or the expiry clock —
+    closes it with the outcome.
+    """
 
     reply_to: str
     req_id: int
     path: str
     create: bool
+    span: object = None
 
 
 @dataclass(frozen=True)
@@ -157,6 +163,7 @@ class Cmsd:
         config: CmsdConfig | None = None,
         rng: random.Random | None = None,
         instance: int = 0,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -169,11 +176,32 @@ class Cmsd:
         self.instance = instance
         self.host = network.hosts.get(node_id.cmsd) or network.add_host(node_id.cmsd)
         self.stats = CmsdStats()
+        # Observability (repro.obs): obs=None keeps every hot path on the
+        # uninstrumented branch of a single None check.
+        self._obs = obs
+        if obs is not None:
+            name = node_id.name
+            m = obs.metrics
+            self._m_msgs = m.counter("cmsd_messages_sent_total", node=name)
+            self._m_locates = m.counter("cmsd_locate_requests_total", node=name)
+            self._m_redirects = m.counter("cmsd_redirects_total", node=name)
+            self._m_waits = m.counter("cmsd_waits_sent_total", node=name)
+            self._m_notfounds = m.counter("cmsd_notfounds_total", node=name)
+            self._m_queries = m.counter("cmsd_queries_sent_total", node=name)
+            self._m_haves_rx = m.counter("cmsd_haves_received_total", node=name)
+            self._m_fast_released = m.counter("cmsd_fast_released_total", node=name)
 
         if node_id.role is not Role.SERVER:
-            self.membership = ClusterMembership()
-            self.cache = NameCache(self.membership, lifetime=self.config.lifetime)
-            self.rq = ResponseQueue(anchors=self.config.anchors, period=self.config.fast_period)
+            self.membership = ClusterMembership(obs=obs, node=node_id.name)
+            self.cache = NameCache(
+                self.membership, lifetime=self.config.lifetime, obs=obs, node=node_id.name
+            )
+            self.rq = ResponseQueue(
+                anchors=self.config.anchors,
+                period=self.config.fast_period,
+                obs=obs,
+                node=node_id.name,
+            )
             self.deadline = DeadlinePolicy(full_delay=self.config.full_delay)
             self.metrics = ServerMetrics()
             self.children: dict[str, ChildInfo] = {}
@@ -224,6 +252,8 @@ class Cmsd:
     # -- outbound helpers -----------------------------------------------------
 
     def _send(self, to: str, msg: object) -> None:
+        if self._obs is not None:
+            self._m_msgs.inc()
         self.network.send(self.host.name, to, msg, size=pr.estimate_size(msg))
 
     def _login_to_parents(self) -> None:
@@ -281,11 +311,14 @@ class Cmsd:
                 for waiter in self.rq.expire(self.sim.now):
                     payload = waiter.payload
                     if isinstance(payload, _ClientWaiter):
+                        self._close_wait_span(payload.span, outcome="timeout")
                         self._send(
                             payload.reply_to,
                             pr.Wait(payload.req_id, payload.path, self.config.full_delay),
                         )
                         self.stats.waits_sent += 1
+                        if self._obs is not None:
+                            self._m_waits.inc()
         except Interrupt:
             return
 
@@ -416,8 +449,18 @@ class Cmsd:
                 write_capable=True,
             )
         else:
+            if self._obs is not None:
+                # Silence IS the protocol's negative answer — the trace is
+                # the only place it becomes a visible fact.
+                self._obs.tracer.event(
+                    msg.path, "server.silent", node=self.node_id.name
+                )
             return
         self.stats.haves_sent += 1
+        if self._obs is not None:
+            self._obs.tracer.event(
+                msg.path, "server.have", node=self.node_id.name, pending=reply.pending
+            )
         self._send(src, reply)
 
     def _advertise_new_file(self, path: str) -> None:
@@ -443,11 +486,16 @@ class Cmsd:
             return
         self._query_serial += 1
         q = pr.QueryFile(path=path, hash_val=hash_val, mode=mode, serial=self._query_serial)
+        fanout = 0
         for slot in bitvec.iter_bits(targets):
             name = self.membership.server_name(slot)
             if name is not None:
                 self._send(cmsd_host(name), q)
                 self.stats.queries_sent += 1
+                fanout += 1
+        if self._obs is not None and fanout:
+            self._m_queries.inc(fanout)
+            self._obs.tracer.event(path, "query.flood", node=self.node_id.name, fanout=fanout)
         obj.v_q &= ~targets & bitvec.FULL_MASK
 
     def _enqueue_waiter(self, obj, mode: str, payload) -> bool:
@@ -498,8 +546,39 @@ class Cmsd:
             pr.Redirect(msg.req_id, msg.path, target=name, target_role=role, pending=pending),
         )
         self.stats.redirects += 1
+        if self._obs is not None:
+            self._m_redirects.inc()
+
+    def _send_wait(self, msg: pr.Locate) -> None:
+        self._send(msg.reply_to, pr.Wait(msg.req_id, msg.path, self.config.full_delay))
+        self.stats.waits_sent += 1
+        if self._obs is not None:
+            self._m_waits.inc()
 
     def _on_locate(self, msg: pr.Locate) -> None:
+        """Handle a client Locate; the traced wrapper around the resolution.
+
+        When observability is on, the whole dispatch becomes one
+        ``cmsd.locate`` span on the client's resolution trace, tagged with
+        the verdict this cmsd reached (redirect / enqueued / wait-full /
+        notfound / create-redirect).
+        """
+        obs = self._obs
+        if obs is None:
+            self._do_locate(msg)
+            return
+        self._m_locates.inc()
+        trace = obs.tracer.active(msg.path)
+        span = (
+            trace.begin("cmsd.locate", obs.now(), node=self.node_id.name, refresh=msg.refresh)
+            if trace is not None
+            else None
+        )
+        outcome = self._do_locate(msg)
+        if span is not None:
+            trace.end(span, obs.now(), outcome=outcome)
+
+    def _do_locate(self, msg: pr.Locate) -> str:
         self.stats.locates += 1
         now = self.sim.now
         if msg.refresh:
@@ -507,7 +586,7 @@ class Cmsd:
             if existing is not None:
                 self.cache.refresh(existing, now)
                 self.stats.refreshes += 1
-        ref, is_new = self.cache.lookup(msg.path, now)
+        ref, _is_new = self.cache.lookup(msg.path, now)
         obj = ref.get()
         mode = AccessMode.WRITE if msg.create or msg.mode == AccessMode.WRITE else AccessMode.READ
 
@@ -519,7 +598,7 @@ class Cmsd:
             policy = self.config.read_policy
             slot = policy.choose(candidates, self.metrics)
             self._redirect(msg, slot, pending)
-            return
+            return "redirect"
 
         # Steps 1/5/6: flood whoever still needs asking, under the
         # deadline-based single-querier rule (§III-C2).
@@ -541,24 +620,42 @@ class Cmsd:
             # fast-response ablation is on, in which case the client simply
             # eats the full conservative delay.
             if not self.config.fast_response:
-                self._send(msg.reply_to, pr.Wait(msg.req_id, msg.path, self.config.full_delay))
-                self.stats.waits_sent += 1
-                return
-            payload = _ClientWaiter(msg.reply_to, msg.req_id, msg.path, msg.create)
+                self._send_wait(msg)
+                return "wait-full"
+            payload = _ClientWaiter(
+                msg.reply_to, msg.req_id, msg.path, msg.create, span=self._open_wait_span(msg.path)
+            )
             if not self._enqueue_waiter(obj, mode, payload):
-                self._send(msg.reply_to, pr.Wait(msg.req_id, msg.path, self.config.full_delay))
-                self.stats.waits_sent += 1
-            return
+                self._close_wait_span(payload.span, outcome="rejected")
+                self._send_wait(msg)
+                return "wait-full-rejected"
+            return "enqueued"
 
         # Deadline passed and nothing turned up: the file does not exist
         # anywhere below us.
         if msg.create:
-            self._place_create(msg, obj)
-        else:
-            self._send(msg.reply_to, pr.NotFound(msg.req_id, msg.path))
-            self.stats.notfounds += 1
+            return self._place_create(msg, obj)
+        self._send(msg.reply_to, pr.NotFound(msg.req_id, msg.path))
+        self.stats.notfounds += 1
+        if self._obs is not None:
+            self._m_notfounds.inc()
+        return "notfound"
 
-    def _place_create(self, msg: pr.Locate, obj) -> None:
+    def _open_wait_span(self, path: str):
+        """Open an async ``rq.wait`` span on the active trace for *path*."""
+        if self._obs is None:
+            return None
+        trace = self._obs.tracer.active(path)
+        if trace is None:
+            return None
+        return trace.open_span("rq.wait", self._obs.now(), node=self.node_id.name)
+
+    def _close_wait_span(self, span, *, outcome: str) -> None:
+        if span is not None:
+            span.end = self._obs.now()
+            span.attrs["outcome"] = outcome
+
+    def _place_create(self, msg: pr.Locate, obj) -> str:
         """Pick a node for a brand-new file (non-existence now confirmed)."""
         eligible = self.membership.eligible(msg.path) & self.membership.v_online
         avoid_mask = 0
@@ -570,9 +667,12 @@ class Cmsd:
         if not eligible:
             self._send(msg.reply_to, pr.NotFound(msg.req_id, msg.path))
             self.stats.notfounds += 1
-            return
+            if self._obs is not None:
+                self._m_notfounds.inc()
+            return "notfound"
         slot = self.config.create_policy.choose(eligible, self.metrics)
         self._redirect(msg, slot, pending=False)
+        return "create-redirect"
 
     def _on_prepare(self, msg: pr.Prepare) -> None:
         """Spawn the parallel background look-ups of §III-B2.
@@ -600,6 +700,8 @@ class Cmsd:
         *us*.
         """
         now = self.sim.now
+        if self._obs is not None:
+            self._obs.tracer.event(msg.path, "supervisor.query", node=self.node_id.name)
         ref, _ = self.cache.lookup(msg.path, now)
         obj = ref.get()
         if obj.v_h & self.membership.v_online:
@@ -633,6 +735,11 @@ class Cmsd:
         """A subordinate reported holding the file: update cache, release
         every waiter the fast response queue holds for it (§III-B1)."""
         self.stats.haves_received += 1
+        if self._obs is not None:
+            self._m_haves_rx.inc()
+            self._obs.tracer.event(
+                msg.path, "have.received", node=self.node_id.name, holder=msg.node
+            )
         slot = self.membership.slot_of(msg.node)
         if slot is None:
             return  # responder was dropped while the answer was in flight
@@ -642,7 +749,11 @@ class Cmsd:
         ) != 0
         obj = self.cache.update_holder(msg.path, msg.hash_val, slot, pending=msg.pending)
         released = (
-            [] if obj is None else self.rq.on_response(obj, slot, write_capable=msg.write_capable)
+            []
+            if obj is None
+            else self.rq.on_response(
+                obj, slot, write_capable=msg.write_capable, now=self.sim.now
+            )
         )
         answered_parents = {
             w.payload.parent_host for w in released if isinstance(w.payload, _ParentWaiter)
@@ -659,12 +770,15 @@ class Cmsd:
         if obj is None or not released:
             return
         self.stats.fast_released += len(released)
+        if self._obs is not None:
+            self._m_fast_released.inc(len(released))
         name = self.membership.server_name(slot)
         info = self.children.get(name)
         role = info.role.value if info is not None else Role.SERVER.value
         for waiter in released:
             payload = waiter.payload
             if isinstance(payload, _ClientWaiter):
+                self._close_wait_span(payload.span, outcome="released")
                 self.metrics.record_selection(slot)
                 self._send(
                     payload.reply_to,

@@ -39,6 +39,7 @@ class ScallaNode:
         mss: MassStorage | None = None,
         cnsd_host: str | None = None,
         rng: random.Random | None = None,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -48,6 +49,9 @@ class ScallaNode:
         self.mss = mss
         self.cnsd_host = cnsd_host
         self.rng = rng if rng is not None else random.Random(0)
+        #: Observability hub shared cluster-wide; survives crash/restart
+        #: (metrics are per-node series, a rebooted daemon keeps counting).
+        self.obs = obs
 
         # Persistent across restarts: the disk.
         self.fs = ServerFS() if spec.role is Role.SERVER else None
@@ -90,6 +94,7 @@ class ScallaNode:
                 cnsd_host=self.cnsd_host,
                 config=self.xrootd_config,
                 rng=random.Random(self.rng.random()),
+                obs=self.obs,
             )
             self.xrootd.start()
         self.cmsd = Cmsd(
@@ -102,6 +107,7 @@ class ScallaNode:
             config=self.cmsd_config,
             rng=random.Random(self.rng.random()),
             instance=self.instance,
+            obs=self.obs,
         )
         self.cmsd.start()
         self.instance += 1

@@ -27,6 +27,7 @@ from repro.cluster.mss import MassStorage
 from repro.cluster.node import ScallaNode
 from repro.cluster.topology import Topology, build_topology
 from repro.cluster.xrootd import XrootdConfig
+from repro.obs import Observability
 from repro.sim.kernel import Simulator
 from repro.sim.latency import Fixed, LatencyModel
 from repro.sim.network import Network
@@ -74,6 +75,11 @@ class ScallaConfig:
     deadline_sync: bool = True
     #: Extension: prefer same-site replicas when redirecting (see CmsdConfig).
     locality_aware: bool = False
+    #: Observability (repro.obs): when True the cluster carries one shared
+    #: :class:`~repro.obs.Observability` hub — metrics on every daemon's
+    #: hot path plus per-request resolution traces, all stamped with sim
+    #: time.  Off by default: the uninstrumented path stays fast.
+    observability: bool = False
 
     client: ClientConfig = field(default_factory=ClientConfig)
 
@@ -109,6 +115,10 @@ class ScallaCluster:
     ) -> None:
         self.config = config if config is not None else ScallaConfig()
         self.sim = Simulator()
+        self.obs: Observability | None = None
+        if self.config.observability:
+            self.obs = Observability()
+            self.sim.attach_observability(self.obs)
         self.rng = random.Random(self.config.seed)
         self.network = Network(
             self.sim,
@@ -144,6 +154,7 @@ class ScallaCluster:
                 mss=mss,
                 cnsd_host=CNSD_HOST,
                 rng=random.Random(self.rng.random()),
+                obs=self.obs,
             )
         self._clients = 0
         if start:
@@ -166,6 +177,17 @@ class ScallaCluster:
     def run_process(self, gen, *, limit: float | None = None):
         """Drive a client coroutine to completion; return its value."""
         return self.sim.run_until_process(self.sim.process(gen), limit=limit)
+
+    def obs_snapshot(self, **kwargs) -> dict:
+        """JSON-serializable metrics+traces snapshot (see repro.obs.export).
+
+        Requires ``ScallaConfig(observability=True)``.
+        """
+        if self.obs is None:
+            raise RuntimeError("observability is off; pass ScallaConfig(observability=True)")
+        from repro.obs import export
+
+        return export.snapshot(self.obs, **kwargs)
 
     # -- accessors ---------------------------------------------------------
 
@@ -196,6 +218,7 @@ class ScallaCluster:
             self.managers,
             config=config if config is not None else replace(self.config.client),
             rng=random.Random(self.rng.random()),
+            obs=self.obs,
         )
 
     # -- data placement (out-of-band, like pre-existing disk contents) -------------

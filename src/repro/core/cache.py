@@ -25,7 +25,7 @@ job (:mod:`repro.cluster.cmsd` in the cluster layer).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core import bitvec
 from repro.core.corrections import ClusterMembership, apply_corrections
@@ -82,15 +82,33 @@ class NameCache:
         lifetime: float = DEFAULT_LIFETIME,
         initial_size: int | None = None,
         window_memo: bool = True,
+        obs=None,
+        node: str = "",
     ) -> None:
         """*window_memo* disables the per-window V_wc/C_wn memoization when
         False — an ablation knob for bench F3; production cmsd always
-        memoizes."""
+        memoizes.  *obs* (a :class:`repro.obs.Observability`) turns on
+        metrics + resolution-trace annotations; None keeps the fast path
+        untouched."""
         self.membership = membership if membership is not None else ClusterMembership()
         self.table = LocationTable(initial_size)
-        self.windows = EvictionWindows()
+        self.windows = EvictionWindows(obs=obs, node=node)
         self.lifetime = float(lifetime)
         self.stats = CacheStats()
+        self._obs = obs
+        self._node = node
+        if obs is not None:
+            m = obs.metrics
+            self._m_lookups = m.counter("cache_lookups_total", node=node)
+            self._m_hits = m.counter("cache_hits_total", node=node)
+            self._m_adds = m.counter("cache_adds_total", node=node)
+            self._m_corrections = m.counter("cache_corrections_total", node=node)
+            self._m_vwc_hits = m.counter("cache_vwc_hits_total", node=node)
+            self._m_vwc_misses = m.counter("cache_vwc_misses_total", node=node)
+            self._m_stale = m.counter("cache_stale_holder_updates_total", node=node)
+            self._m_holder_updates = m.counter("cache_holder_updates_total", node=node)
+            self._m_removed = m.counter("cache_removed_total", node=node)
+            self._m_population = m.gauge("cache_population", node=node)
         self._free: list[LocationObject] = []
         #: (object, generation-at-queue-time); the stamp detects entries
         #: whose storage was recycled before this entry was processed.
@@ -129,6 +147,13 @@ class NameCache:
         v_m = self.membership.eligible(path)
         h = hash_name(path)
         obj = self.table.find(path, h)
+        if self._obs is not None:
+            self._m_lookups.inc()
+            if obj is not None:
+                self._m_hits.inc()
+            self._obs.tracer.event(
+                path, "cache.lookup", node=self._node, hit=obj is not None, add=add
+            )
         if obj is not None:
             self.stats.hits += 1
             self._correct(obj, v_m)
@@ -141,6 +166,8 @@ class NameCache:
         self.windows.add(obj)
         self.table.insert(obj)
         self.stats.adds += 1
+        if self._obs is not None:
+            self._m_adds.inc()
         return CacheRef(obj=obj, generation=obj.generation, key=path, hash_val=h), True
 
     def revalidate(self, ref: CacheRef) -> CacheRef | None:
@@ -175,9 +202,13 @@ class NameCache:
         obj = self.table.find(path, hash_val)
         if obj is None:
             self.stats.stale_holder_updates += 1
+            if self._obs is not None:
+                self._m_stale.inc()
             return None
         obj.set_holder(server, pending=pending)
         self.stats.holder_updates += 1
+        if self._obs is not None:
+            self._m_holder_updates.inc()
         return obj
 
     def refresh(self, ref: CacheRef, now: float) -> CacheRef | None:
@@ -229,6 +260,8 @@ class NameCache:
         result = self.windows.tick()
         self._pending_removal.extend((obj, obj.generation) for obj in result.hidden)
         self._wmemo[result.window] = None
+        if self._obs is not None:
+            self._m_population.set(self.windows.population())
         return result
 
     def run_background_removal(self, limit: int | None = None) -> int:
@@ -248,6 +281,8 @@ class NameCache:
                 self._free.append(obj)
                 removed += 1
         self.stats.removed += removed
+        if self._obs is not None and removed:
+            self._m_removed.inc(removed)
         return removed
 
     @property
@@ -272,6 +307,8 @@ class NameCache:
             if memo is not None and memo.c_wn == obj.c_n and memo.n_c == self.membership.n_c:
                 v_c = memo.v_wc
                 self.stats.vwc_hits += 1
+                if self._obs is not None:
+                    self._m_vwc_hits.inc()
             else:
                 v_c = self.membership.connected_since(obj.c_n)
                 if self.window_memo:
@@ -279,8 +316,15 @@ class NameCache:
                         c_wn=obj.c_n, n_c=self.membership.n_c, v_wc=v_c
                     )
                 self.stats.vwc_misses += 1
+                if self._obs is not None:
+                    self._m_vwc_misses.inc()
         if apply_corrections(obj, self.membership, v_m, v_c=v_c):
             self.stats.corrections += 1
+            if self._obs is not None:
+                self._m_corrections.inc()
+                self._obs.tracer.event(
+                    obj.key, "cache.correct", node=self._node, v_q=obj.v_q, v_h=obj.v_h
+                )
 
     def check_invariants(self) -> None:
         """Cross-structure consistency: table, windows, vector invariants."""

@@ -81,7 +81,7 @@ class ClusterMembership:
     :func:`apply_corrections`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, obs=None, node: str = "") -> None:
         self._slots: list[ServerSlot | None] = [None] * bitvec.MAX_SERVERS
         self._by_name: dict[str, int] = {}
         #: Master connection counter N_c.
@@ -93,6 +93,21 @@ class ClusterMembership:
         self.v_offline: int = 0
         #: Mask of slots currently occupied (online or offline).
         self.v_members: int = 0
+        # Observability (repro.obs): membership churn counters plus live
+        # member/online gauges — the inputs the lazy-correction machinery
+        # reacts to.
+        self._obs = obs
+        if obs is not None:
+            self._m_logins = obs.metrics.counter("membership_logins_total", node=node)
+            self._m_disconnects = obs.metrics.counter("membership_disconnects_total", node=node)
+            self._m_drops = obs.metrics.counter("membership_drops_total", node=node)
+            self._m_members = obs.metrics.gauge("membership_members", node=node)
+            self._m_online = obs.metrics.gauge("membership_online", node=node)
+
+    def _observe_membership(self) -> None:
+        if self._obs is not None:
+            self._m_members.set(bitvec.count(self.v_members))
+            self._m_online.set(bitvec.count(self.v_online))
 
     # -- queries -------------------------------------------------------------
 
@@ -170,6 +185,9 @@ class ClusterMembership:
                 current.logins += 1
                 self.v_offline &= ~bitvec.bit(existing) & bitvec.FULL_MASK
                 self._stamp_connection(existing)
+                if self._obs is not None:
+                    self._m_logins.inc()
+                    self._observe_membership()
                 return existing
 
         if slot is None:
@@ -188,6 +206,9 @@ class ClusterMembership:
             entry.v_m |= bitvec.bit(slot)
             entry.refcount[slot] = entry.refcount.get(slot, 0) + 1
         self._stamp_connection(slot)
+        if self._obs is not None:
+            self._m_logins.inc()
+            self._observe_membership()
         return slot
 
     def disconnect(self, name: str) -> int:
@@ -202,6 +223,9 @@ class ClusterMembership:
         assert entry is not None
         entry.online = False
         self.v_offline |= bitvec.bit(slot)
+        if self._obs is not None:
+            self._m_disconnects.inc()
+            self._observe_membership()
         return slot
 
     def drop(self, slot_or_name) -> int:
@@ -229,6 +253,9 @@ class ClusterMembership:
         mask = ~bitvec.bit(slot) & bitvec.FULL_MASK
         self.v_members &= mask
         self.v_offline &= mask
+        if self._obs is not None:
+            self._m_drops.inc()
+            self._observe_membership()
         return slot
 
     # -- internals ---------------------------------------------------------

@@ -66,7 +66,7 @@ class EvictionWindows:
     purge of its old chain.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, obs=None, node: str = "") -> None:
         self._chains: list[list[LocationObject]] = [[] for _ in range(WINDOW_COUNT)]
         #: The window clock; monotonically increasing tick count.
         self.t_w: int = 0
@@ -74,6 +74,17 @@ class EvictionWindows:
         self.total_hidden = 0
         self.total_rechained = 0
         self.total_swept = 0
+        # Observability (repro.obs): per-tick counters plus an eviction-
+        # interference annotation on any resolution trace in flight for a
+        # path the sweep hides.
+        self._obs = obs
+        self._node = node
+        if obs is not None:
+            self._m_hidden = obs.metrics.counter("evict_hidden_total", node=node)
+            self._m_rechained = obs.metrics.counter("evict_rechained_total", node=node)
+            self._m_swept = obs.metrics.counter("evict_swept_total", node=node)
+            self._m_ticks = obs.metrics.counter("evict_ticks_total", node=node)
+            self._m_sweep_frac = obs.metrics.histogram("evict_sweep_fraction", node=node)
 
     @property
     def current_window(self) -> int:
@@ -143,6 +154,7 @@ class EvictionWindows:
         window = self.current_window
         chain = self._chains[window]
         result = TickResult(window=window)
+        population_before = self.population()
         survivors: list[LocationObject] = []
         for obj in chain:
             result.swept += 1
@@ -160,6 +172,19 @@ class EvictionWindows:
         self.total_hidden += len(result.hidden)
         self.total_rechained += result.rechained
         self.total_swept += result.swept
+        if self._obs is not None:
+            self._m_ticks.inc()
+            self._m_hidden.inc(len(result.hidden))
+            self._m_rechained.inc(result.rechained)
+            self._m_swept.inc(result.swept)
+            if population_before:
+                # The paper's ~1.6% claim: fraction of the cache one tick touched.
+                self._m_sweep_frac.record(result.swept / population_before)
+            tracer = self._obs.tracer
+            for obj in result.hidden:
+                # Eviction interference: a lookup racing the sweep sees its
+                # object vanish mid-resolution — make that visible.
+                tracer.event(obj.key, "evict.hidden", node=self._node, window=window)
         return result
 
     def check_invariants(self) -> None:

@@ -108,7 +108,14 @@ class _Anchor:
 class ResponseQueue:
     """The 1024-anchor fast response queue with 133 ms expiry clocking."""
 
-    def __init__(self, anchors: int = DEFAULT_ANCHORS, period: float = DEFAULT_PERIOD) -> None:
+    def __init__(
+        self,
+        anchors: int = DEFAULT_ANCHORS,
+        period: float = DEFAULT_PERIOD,
+        *,
+        obs=None,
+        node: str = "",
+    ) -> None:
         if anchors < 1:
             raise ValueError("need at least one anchor")
         self._anchors = [_Anchor(index=i) for i in range(anchors)]
@@ -121,6 +128,16 @@ class ResponseQueue:
         self.fast_responses = 0
         self.timeouts = 0
         self.rejected = 0
+        # Observability (repro.obs): instruments resolved once, every hot
+        # site below guards with one `is not None` check.
+        self._obs = obs
+        if obs is not None:
+            self._m_enq = obs.metrics.counter("rq_enqueued_total", node=node)
+            self._m_rejected = obs.metrics.counter("rq_rejected_total", node=node)
+            self._m_released = obs.metrics.counter("rq_released_total", node=node)
+            self._m_expired = obs.metrics.counter("rq_expired_total", node=node)
+            self._m_active = obs.metrics.gauge("rq_active_anchors", node=node)
+            self._m_wait = obs.metrics.histogram("rq_wait_seconds", node=node)
 
     # -- introspection ---------------------------------------------------------
 
@@ -145,6 +162,8 @@ class ResponseQueue:
         if anchor is None:
             if not self._free:
                 self.rejected += 1
+                if self._obs is not None:
+                    self._m_rejected.inc()
                 return AddOutcome(accepted=False)
             anchor = self._anchors[self._free.pop()]
             anchor.in_use = True
@@ -156,17 +175,30 @@ class ResponseQueue:
             self._timeline.append((now, anchor.index, anchor.stamp))
             self._associate(loc, mode, anchor)
         anchor.waiters.append(Waiter(payload=payload, enqueued_at=now, mode=mode))
+        if self._obs is not None:
+            self._m_enq.inc()
+            self._m_active.set(self._active)
         return AddOutcome(accepted=True, queue_was_empty=was_empty)
 
     # -- release paths ---------------------------------------------------------
 
-    def on_response(self, loc: LocationObject, server: int, *, write_capable: bool) -> list[Waiter]:
+    def on_response(
+        self,
+        loc: LocationObject,
+        server: int,
+        *,
+        write_capable: bool,
+        now: float | None = None,
+    ) -> list[Waiter]:
         """Release waiters of *loc* now that *server* reported having it.
 
         Readers are always releasable; writers only when the responding
         server grants write access ("the access mode the server allows").
         Returns the released waiters with ``server`` filled in; the caller
         (the response thread in the paper) delivers the redirects.
+
+        *now* is only consumed by observability (anchor-wait histograms);
+        instrumented callers pass the current time, others may omit it.
         """
         released: list[Waiter] = []
         modes = [AccessMode.READ] + ([AccessMode.WRITE] if write_capable else [])
@@ -182,6 +214,12 @@ class ResponseQueue:
             self._free.append(anchor.index)
             self._dissociate(loc, mode)
         self.fast_responses += len(released)
+        if self._obs is not None and released:
+            self._m_released.inc(len(released))
+            self._m_active.set(self._active)
+            if now is not None:
+                for w in released:
+                    self._m_wait.record(now - w.enqueued_at)
         return released
 
     def expire(self, now: float) -> list[Waiter]:
@@ -206,6 +244,11 @@ class ResponseQueue:
             if loc is not None:
                 self._dissociate(loc, mode)
         self.timeouts += len(expired)
+        if self._obs is not None and expired:
+            self._m_expired.inc(len(expired))
+            self._m_active.set(self._active)
+            for w in expired:
+                self._m_wait.record(now - w.enqueued_at)
         return expired
 
     def next_expiry(self) -> float | None:

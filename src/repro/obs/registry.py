@@ -1,0 +1,106 @@
+"""The metrics registry: counters, gauges, histograms, by name + labels.
+
+Zero dependencies, and deliberately boring: an instrument is resolved once
+(at component construction time) and then mutated through plain attribute
+arithmetic, so the per-event cost on an instrumented hot path is one
+``is not None`` guard plus one integer add.  Lookup-by-name on every event
+— the classic metrics-library tax — never happens inside the hot loops.
+
+Metric identity is ``(name, sorted(labels))``, the Prometheus convention:
+``counter("cache_lookups_total", node="m0")`` and the same name with
+``node="s3"`` are independent series that an exporter can aggregate.
+Histograms are :class:`repro.sim.monitor.Histogram`, so per-node series
+merge into cluster totals via :meth:`~repro.sim.monitor.Histogram.merge`
+and report the same p50/p95/p99 summary the benches already print.
+"""
+
+from __future__ import annotations
+
+from repro.sim.monitor import Histogram
+
+__all__ = ["Counter", "Gauge", "MetricsRegistry", "labels_key"]
+
+
+def labels_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    """Canonical hashable form of a label set."""
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, population, load)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class MetricsRegistry:
+    """Get-or-create store of instruments keyed by name + labels."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    # -- instrument factories ------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(self._counters, Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(self._gauges, Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        return self._get(self._histograms, Histogram, name, labels)
+
+    @staticmethod
+    def _get(store: dict, factory, name: str, labels: dict[str, str]):
+        key = (name, labels_key(labels))
+        inst = store.get(key)
+        if inst is None:
+            inst = store[key] = factory()
+        return inst
+
+    # -- aggregation / readout -----------------------------------------------
+
+    def counter_total(self, name: str) -> int:
+        """Sum of one counter name across every label set."""
+        return sum(c.value for (n, _), c in self._counters.items() if n == name)
+
+    def merged_histogram(self, name: str) -> Histogram:
+        """All series of one histogram name merged into a cluster total."""
+        total = Histogram()
+        for (n, _), h in self._histograms.items():
+            if n == name:
+                total.merge(h)
+        return total
+
+    def collect(self):
+        """Iterate ``(kind, name, labels, instrument)`` over everything."""
+        for (name, lk), c in sorted(self._counters.items()):
+            yield "counter", name, dict(lk), c
+        for (name, lk), g in sorted(self._gauges.items()):
+            yield "gauge", name, dict(lk), g
+        for (name, lk), h in sorted(self._histograms.items()):
+            yield "histogram", name, dict(lk), h

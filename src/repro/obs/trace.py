@@ -1,0 +1,175 @@
+"""Resolution tracing: where did those microseconds (or 5 seconds) go?
+
+A *resolution trace* follows one name lookup through the cluster: the
+client opens the trace, every cmsd on the walk (manager → supervisor →
+server) adds spans and point events, and the client closes it with the
+outcome.  Spans capture the things the paper's latency claims hinge on —
+cache hit/miss, correction-vector application, the fast-response-queue
+anchor wait, query flooding fan-out, eviction interference — all stamped
+with sim-kernel time.
+
+Correlation is by *path*: the simulated protocol re-issues a fresh request
+id at every hop, but the path is the stable key a lookup carries end to
+end, so components deep in the core (the cache, the eviction sweep) can
+annotate the right trace knowing nothing about the protocol.  Concurrent
+lookups of the same path attach to the most recently opened trace — the
+one whose walk is actually touching the shared location object.
+
+Spans nest through an explicit per-trace stack rather than context
+managers because cluster code is simulation generators: a ``with`` block
+cannot straddle a ``yield``.  Async spans (a queue wait that outlives the
+locate dispatch that opened it) are created with :meth:`ResolutionTrace.
+open_span` and closed later by whoever releases the waiter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Span", "ResolutionTrace", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One timed segment of a resolution walk."""
+
+    name: str
+    start: float
+    node: str = ""
+    end: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {"name": self.name, "start": self.start, "end": self.end}
+        if self.node:
+            d["node"] = self.node
+        if self.attrs:
+            d["attrs"] = dict(self.attrs)
+        if self.events:
+            d["events"] = [dict(e) for e in self.events]
+        if self.children:
+            d["children"] = [c.to_dict() for c in self.children]
+        return d
+
+
+class ResolutionTrace:
+    """The spans of one lookup, rooted at the client's ``resolve`` span."""
+
+    def __init__(self, trace_id: int, path: str, now: float, **attrs: Any) -> None:
+        self.trace_id = trace_id
+        self.path = path
+        self.root = Span(name="resolve", start=now, attrs=dict(attrs))
+        self.finished_at: float | None = None
+        self._stack: list[Span] = [self.root]
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None
+
+    # -- span construction ---------------------------------------------------
+
+    def begin(self, name: str, now: float, *, node: str = "", **attrs: Any) -> Span:
+        """Open a nested span and make it the attachment point."""
+        span = self.open_span(name, now, node=node, **attrs)
+        self._stack.append(span)
+        return span
+
+    def open_span(self, name: str, now: float, *, node: str = "", **attrs: Any) -> Span:
+        """Open a span under the current attachment point without pushing it.
+
+        For async segments — e.g. the fast-response-queue anchor wait, which
+        is opened by the locate dispatch but closed much later by a server
+        response or the 133 ms expiry clock.
+        """
+        span = Span(name=name, start=now, node=node, attrs=dict(attrs))
+        self._stack[-1].children.append(span)
+        return span
+
+    def end(self, span: Span, now: float, **attrs: Any) -> Span:
+        """Close *span* (popping it, and anything left open above it)."""
+        span.end = now
+        span.attrs.update(attrs)
+        if span in self._stack:
+            while self._stack[-1] is not span:
+                self._stack.pop().end = now
+            self._stack.pop()
+        return span
+
+    def event(self, name: str, now: float, *, node: str = "", **attrs: Any) -> None:
+        """Record a point annotation on the current attachment point."""
+        e: dict[str, Any] = {"name": name, "t": now}
+        if node:
+            e["node"] = node
+        e.update(attrs)
+        self._stack[-1].events.append(e)
+
+    def finish(self, now: float, **attrs: Any) -> None:
+        while self._stack:
+            self._stack.pop().end = now
+        self.root.attrs.update(attrs)
+        self.finished_at = now
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "path": self.path,
+            "finished_at": self.finished_at,
+            "root": self.root.to_dict(),
+        }
+
+
+class Tracer:
+    """Opens, correlates (by path), and retains resolution traces."""
+
+    def __init__(self, clock: Callable[[], float], *, max_finished: int = 512) -> None:
+        self._clock = clock
+        self._next_id = 1
+        self._active: dict[str, list[ResolutionTrace]] = {}
+        #: Completed traces, oldest evicted first (bounded memory).
+        self.finished: deque[ResolutionTrace] = deque(maxlen=max_finished)
+
+    @property
+    def active_count(self) -> int:
+        return sum(len(v) for v in self._active.values())
+
+    def start(self, path: str, **attrs: Any) -> ResolutionTrace:
+        trace = ResolutionTrace(self._next_id, path, self._clock(), **attrs)
+        self._next_id += 1
+        self._active.setdefault(path, []).append(trace)
+        return trace
+
+    def active(self, path: str) -> ResolutionTrace | None:
+        """The most recently opened in-flight trace for *path*, if any."""
+        traces = self._active.get(path)
+        return traces[-1] if traces else None
+
+    def event(self, path: str, name: str, *, node: str = "", **attrs: Any) -> None:
+        """Annotate the active trace for *path*; no-op when none exists.
+
+        This is the fire-and-forget API for core components (cache,
+        eviction sweep) that observe a path without participating in the
+        protocol: one dict probe when no lookup is being traced.
+        """
+        trace = self.active(path)
+        if trace is not None:
+            trace.event(name, self._clock(), node=node, **attrs)
+
+    def finish(self, trace: ResolutionTrace, **attrs: Any) -> None:
+        trace.finish(self._clock(), **attrs)
+        traces = self._active.get(trace.path)
+        if traces is not None:
+            try:
+                traces.remove(trace)
+            except ValueError:
+                pass
+            if not traces:
+                del self._active[trace.path]
+        self.finished.append(trace)

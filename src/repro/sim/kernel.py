@@ -282,10 +282,25 @@ class Simulator:
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self.events_processed = 0
+        # Observability (repro.obs), off by default.  Instruments are
+        # resolved once at attach; step() pays a single None check when
+        # disabled — the kernel is the hottest loop in the repo.
+        self._obs_events = None
+        self._obs_heap = None
 
     @property
     def now(self) -> float:
         return self._now
+
+    def attach_observability(self, obs) -> None:
+        """Bind *obs* (a :class:`repro.obs.Observability`) to this kernel.
+
+        The hub's clock becomes sim time and the kernel starts counting
+        processed events and sampling its event-heap depth.
+        """
+        obs.bind_clock(lambda: self._now)
+        self._obs_events = obs.metrics.counter("sim_events_total")
+        self._obs_heap = obs.metrics.gauge("sim_heap_depth")
 
     # -- factories ---------------------------------------------------------
 
@@ -316,6 +331,9 @@ class Simulator:
         assert when >= self._now, "time went backwards"
         self._now = when
         self.events_processed += 1
+        if self._obs_events is not None:
+            self._obs_events.inc()
+            self._obs_heap.value = len(self._heap)
         event._fire()
 
     def run(self, until: float | None = None) -> None:

@@ -51,6 +51,18 @@ class Histogram:
         self._values.extend(values)
         self._sorted = False
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold *other*'s samples into this histogram (returns self).
+
+        The aggregation path for per-node histograms: an exporter merges
+        every node's series into a fresh cluster-total histogram whose
+        percentiles are exact over the union sample.
+        """
+        if other._values:
+            self._values.extend(other._values)
+            self._sorted = False
+        return self
+
     def __len__(self) -> int:
         return len(self._values)
 
@@ -78,17 +90,37 @@ class Histogram:
         return sum(self._values) / len(self._values)
 
     def summary(self) -> Summary:
-        if not self._values:
-            return Summary(0, math.nan, math.nan, math.nan, math.nan, math.nan, math.nan)
-        self._ensure_sorted()
+        """Snapshot summary of the current sample.
+
+        The empty case consistently carries ``count=0`` with zeroed fields
+        (not NaN) so summaries stay strict-JSON-serializable and mergeable.
+        The computation works on a single snapshot of the sample taken up
+        front, so a ``record()`` landing between the emptiness check and
+        the percentile reads (the concurrent-mutation case) cannot make
+        the size observed by ``count`` disagree with the ranks used for
+        the percentiles — let alone raise.
+        """
+        values = self._values
+        n = len(values)
+        if n == 0:
+            return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        if not self._sorted and n == len(self._values):
+            values.sort()
+            self._sorted = True
+        else:
+            values = sorted(values[:n])
+
+        def rank(p: float) -> float:
+            return values[max(0, math.ceil(p / 100 * n) - 1)]
+
         return Summary(
-            count=len(self._values),
-            mean=self.mean,
-            p50=self.percentile(50),
-            p95=self.percentile(95),
-            p99=self.percentile(99),
-            minimum=self._values[0],
-            maximum=self._values[-1],
+            count=n,
+            mean=sum(values) / n,
+            p50=rank(50),
+            p95=rank(95),
+            p99=rank(99),
+            minimum=values[0],
+            maximum=values[n - 1],
         )
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.baselines.pow2table import Pow2Table
 from repro.core.crc32 import hash_name
-from repro.core.hashtable import LocationTable
 from repro.core.location import LocationObject
 from repro.workloads.namegen import sequential_paths
 
@@ -49,7 +48,7 @@ def chain_cost(hashes, modulus, *, pow2):
 
     chains = Counter((h & (modulus - 1)) if pow2 else (h % modulus) for h in hashes)
     n = len(hashes)
-    return sum(l * l for l in chains.values()) / n
+    return sum(c * c for c in chains.values()) / n
 
 
 class TestCollisionContrast:

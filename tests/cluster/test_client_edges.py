@@ -10,7 +10,6 @@ from repro.cluster import (
     ScallaConfig,
     ScallaError,
 )
-from repro.cluster import protocol as pr
 
 
 class TestFailover:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.cluster import ScallaCluster, ScallaConfig
 from repro.cluster import protocol as pr
-from repro.cluster.cmsd import CmsdConfig
 from repro.core.selection import LeastLoad
 
 

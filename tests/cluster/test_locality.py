@@ -1,7 +1,5 @@
 """Tests for the locality-aware selection extension (WAN federations)."""
 
-import pytest
-
 from repro.cluster import ScallaCluster, ScallaConfig
 from repro.cluster.ids import cmsd_host, xrootd_host
 from repro.sim.latency import Fixed

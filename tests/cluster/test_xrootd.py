@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.cluster import protocol as pr
 from repro.cluster.fs import ServerFS
 from repro.cluster.ids import NodeId, Role

@@ -65,7 +65,7 @@ class TestCampaign:
 
     def test_latency_stays_low_under_campaign_load(self, campaign):
         _cluster, results = campaign
-        opens = sorted(l for r in results for l in r.open_latencies)
+        opens = sorted(v for r in results for v in r.open_latencies)
         p95 = opens[int(len(opens) * 0.95)]
         assert p95 < 1e-3  # sub-millisecond p95 open latency
 

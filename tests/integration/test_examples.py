@@ -8,8 +8,6 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
-
 EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
 
 
@@ -54,6 +52,6 @@ class TestExamples:
         assert "local replica" in out
         assert "tape-archived file staged at SLAC" in out
         # Locality-aware selection: every hot-file line must be local.
-        hot_lines = [l for l in out.splitlines() if "replicated hot file" in l]
+        hot_lines = [ln for ln in out.splitlines() if "replicated hot file" in ln]
         assert len(hot_lines) == 3
-        assert all("local replica" in l for l in hot_lines)
+        assert all("local replica" in ln for ln in hot_lines)

@@ -1,7 +1,5 @@
 """Integration: MSS staging (V_p) and the parallel prepare optimization."""
 
-import pytest
-
 from repro.cluster import ScallaCluster, ScallaConfig
 from repro.sim.latency import Fixed
 

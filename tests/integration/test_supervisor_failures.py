@@ -7,8 +7,6 @@ manager's membership machinery treats a supervisor exactly like a server,
 and the subtree re-attaches by re-login when the supervisor returns.
 """
 
-import pytest
-
 from repro.cluster import ScallaCluster, ScallaConfig
 
 

@@ -1,0 +1,112 @@
+"""Counter/gauge/registry semantics: identity, label handling, roll-ups."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.sim.monitor import Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c").value == 0
+
+    def test_inc_default_and_amount(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_same_name_and_labels_is_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", node="s1")
+        b = reg.counter("hits", node="s1")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", node="s1", role="server")
+        b = reg.counter("hits", role="server", node="s1")
+        assert a is b
+
+    def test_different_labels_are_distinct_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", node="s1")
+        b = reg.counter("hits", node="s2")
+        assert a is not b
+        a.inc(3)
+        assert b.value == 0
+
+    def test_counter_total_sums_across_label_sets(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", node="s1").inc(3)
+        reg.counter("hits", node="s2").inc(4)
+        reg.counter("misses", node="s1").inc(99)
+        assert reg.counter_total("hits") == 7
+
+    def test_counter_total_of_unknown_name_is_zero(self):
+        assert MetricsRegistry().counter_total("nope") == 0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("load")
+        g.set(0.5)
+        g.add(0.25)
+        g.add(-0.5)
+        assert g.value == pytest.approx(0.25)
+
+    def test_gauge_and_counter_namespaces_are_separate(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        g = reg.gauge("x")
+        assert g.value == 0
+
+
+class TestHistogramSeries:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("wait", node="m1")
+        assert h is reg.histogram("wait", node="m1")
+        assert isinstance(h, Histogram)
+
+    def test_merged_histogram_spans_label_sets(self):
+        reg = MetricsRegistry()
+        reg.histogram("wait", node="m1").record(1.0)
+        reg.histogram("wait", node="m2").record(3.0)
+        merged = reg.merged_histogram("wait").summary()
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(2.0)
+
+    def test_merged_histogram_does_not_mutate_sources(self):
+        reg = MetricsRegistry()
+        src = reg.histogram("wait", node="m1")
+        src.record(1.0)
+        reg.merged_histogram("wait").record(100.0)
+        assert src.summary().count == 1
+
+
+class TestCollect:
+    def test_collect_yields_sorted_series(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a", node="s1").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").record(0.1)
+        rows = list(reg.collect())
+        kinds = [r[0] for r in rows]
+        names = [r[1] for r in rows]
+        assert kinds == sorted(kinds)
+        assert names == ["a", "b", "g", "h"]
+        by_name = {r[1]: r for r in rows}
+        assert by_name["a"][2] == {"node": "s1"}
+        assert by_name["a"][3].value == 2

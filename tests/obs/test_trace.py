@@ -1,0 +1,131 @@
+"""Span nesting, async spans, and path correlation under simulated time.
+
+These tests drive the tracer from real simulation processes — the spans
+must carry sim-kernel timestamps, and nesting must survive the generator
+style (no ``with`` blocks across ``yield``) the cluster code uses.
+"""
+
+from repro.obs import Observability
+from repro.sim.kernel import Simulator
+
+
+def sim_obs():
+    sim = Simulator()
+    obs = Observability()
+    sim.attach_observability(obs)
+    return sim, obs
+
+
+class TestSpanNesting:
+    def test_nested_begin_end_builds_a_tree(self):
+        sim, obs = sim_obs()
+
+        def walk():
+            trace = obs.tracer.start("/store/f", client="c0")
+            hop = trace.begin("cmsd.locate", obs.now(), node="mgr")
+            yield sim.timeout(1.0)
+            inner = trace.begin("cmsd.locate", obs.now(), node="sup")
+            yield sim.timeout(2.0)
+            trace.end(inner, obs.now(), outcome="redirect")
+            trace.end(hop, obs.now(), outcome="redirect")
+            obs.tracer.finish(trace, outcome="resolved")
+
+        sim.run_until_process(sim.process(walk()))
+        (trace,) = obs.tracer.finished
+        root = trace.root
+        assert root.name == "resolve"
+        assert root.start == 0.0 and root.end == 3.0
+        (hop,) = root.children
+        assert (hop.node, hop.start, hop.end) == ("mgr", 0.0, 3.0)
+        (inner,) = hop.children
+        assert (inner.node, inner.start, inner.end) == ("sup", 1.0, 3.0)
+        assert inner.attrs["outcome"] == "redirect"
+        assert inner.duration == 2.0
+
+    def test_finish_closes_dangling_spans(self):
+        sim, obs = sim_obs()
+        trace = obs.tracer.start("/store/f")
+        trace.begin("cmsd.locate", obs.now(), node="mgr")
+        sim.run(until=5.0)
+        obs.tracer.finish(trace, outcome="timeout")
+        assert trace.root.children[0].end == 5.0
+        assert trace.finished_at == 5.0
+        assert trace.done
+
+    def test_end_pops_everything_above_the_target(self):
+        _sim, obs = sim_obs()
+        trace = obs.tracer.start("/store/f")
+        outer = trace.begin("a", obs.now())
+        trace.begin("b", obs.now())
+        trace.begin("c", obs.now())
+        trace.end(outer, obs.now())
+        # New spans attach at the root again, not under the popped ones.
+        d = trace.begin("d", obs.now())
+        assert trace.root.children == [outer, d]
+
+    def test_async_span_outlives_its_opener(self):
+        """The rq anchor-wait pattern: open during dispatch, close later."""
+        sim, obs = sim_obs()
+
+        def walk():
+            trace = obs.tracer.start("/store/f")
+            hop = trace.begin("cmsd.locate", obs.now(), node="mgr")
+            wait = trace.open_span("rq.wait", obs.now(), node="mgr")
+            trace.end(hop, obs.now(), outcome="enqueued")  # dispatch returns
+            yield sim.timeout(0.105)  # server response arrives much later
+            trace.end(wait, obs.now(), outcome="released")
+            obs.tracer.finish(trace, outcome="resolved")
+
+        sim.run_until_process(sim.process(walk()))
+        (trace,) = obs.tracer.finished
+        (hop,) = trace.root.children
+        (wait,) = hop.children
+        assert hop.end == 0.0  # the dispatch itself was instantaneous
+        assert wait.end == 0.105  # but the wait span kept running
+        assert wait.attrs["outcome"] == "released"
+
+
+class TestPathCorrelation:
+    def test_event_attaches_to_active_trace_only(self):
+        _sim, obs = sim_obs()
+        obs.tracer.event("/store/f", "cache.lookup", hit=False)  # no trace: no-op
+        trace = obs.tracer.start("/store/f")
+        obs.tracer.event("/store/f", "cache.lookup", node="mgr", hit=True)
+        obs.tracer.event("/store/other", "cache.lookup", hit=True)  # different path
+        obs.tracer.finish(trace)
+        (ev,) = trace.root.events
+        assert ev["name"] == "cache.lookup" and ev["hit"] is True
+
+    def test_concurrent_same_path_lookups_use_latest_trace(self):
+        _sim, obs = sim_obs()
+        first = obs.tracer.start("/store/f")
+        second = obs.tracer.start("/store/f")
+        obs.tracer.event("/store/f", "cache.lookup", hit=True)
+        assert second.root.events and not first.root.events
+        obs.tracer.finish(second)
+        obs.tracer.event("/store/f", "cache.lookup", hit=False)
+        assert len(first.root.events) == 1
+        obs.tracer.finish(first)
+        assert obs.tracer.active_count == 0
+
+    def test_finished_retention_is_bounded(self):
+        _sim, obs = sim_obs()
+        obs.tracer.finished = type(obs.tracer.finished)(maxlen=4)
+        for i in range(10):
+            obs.tracer.finish(obs.tracer.start(f"/store/f{i}"))
+        assert len(obs.tracer.finished) == 4
+        assert obs.tracer.finished[0].path == "/store/f6"
+
+
+class TestSimClockBinding:
+    def test_spans_are_stamped_with_sim_time_not_wall_time(self):
+        sim, obs = sim_obs()
+        sim.run(until=42.0)
+        trace = obs.tracer.start("/store/f")
+        assert trace.root.start == 42.0
+
+    def test_unbound_hub_uses_frozen_zero_clock(self):
+        obs = Observability()
+        trace = obs.tracer.start("/store/f")
+        obs.tracer.finish(trace)
+        assert trace.root.start == 0.0 and trace.finished_at == 0.0

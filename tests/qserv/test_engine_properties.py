@@ -1,7 +1,5 @@
 """Property-based tests: chunked execution equals a flat full scan."""
 
-import random
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim.errors import SimError
 from repro.sim.kernel import Simulator
 
 

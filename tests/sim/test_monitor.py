@@ -1,7 +1,5 @@
 """Unit tests for measurement utilities."""
 
-import math
-
 import pytest
 
 from repro.sim.monitor import Histogram, TimeSeries
@@ -50,10 +48,41 @@ class TestHistogram:
         assert s.mean == 2.5
         assert s.minimum == 1.0 and s.maximum == 4.0
 
-    def test_empty_summary_is_nan(self):
+    def test_empty_summary_carries_count_zero(self):
         s = Histogram().summary()
         assert s.count == 0
-        assert math.isnan(s.mean)
+        # Zeroed (not NaN) fields: empty summaries must survive strict
+        # JSON export and merge arithmetic.
+        assert s.mean == 0.0 and s.p50 == 0.0 and s.maximum == 0.0
+        assert s.format() == "n=0"
+
+    def test_merge_aggregates_samples(self):
+        a, b = Histogram(), Histogram()
+        a.extend([1.0, 3.0])
+        b.extend([2.0, 4.0])
+        assert a.merge(b) is a
+        assert len(a) == 4
+        assert a.percentile(0) == 1.0 and a.percentile(100) == 4.0
+        assert a.mean == 2.5
+        # The source histogram is untouched.
+        assert len(b) == 2
+
+    def test_merge_empty_is_noop(self):
+        a = Histogram()
+        a.record(5.0)
+        a.merge(Histogram())
+        assert a.summary().count == 1
+
+    def test_merge_into_fresh_histogram(self):
+        per_node = [Histogram(), Histogram(), Histogram()]
+        for i, h in enumerate(per_node):
+            h.extend([float(i), float(i) + 10.0])
+        total = Histogram()
+        for h in per_node:
+            total.merge(h)
+        s = total.summary()
+        assert s.count == 6
+        assert s.minimum == 0.0 and s.maximum == 12.0
 
     def test_format(self):
         h = Histogram()
