@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Local pre-push check — the same gates CI runs, in the same order.
 #
-#   scripts/check.sh           # lint (if ruff is installed) + tier-1 tests
+#   scripts/check.sh           # ruff (if installed) + scalla-lint +
+#                              # tier-1 tests + determinism double-run
 #   scripts/check.sh --bench   # also run the E1/E6 smoke benches and
 #                              # validate their metric snapshots
 #
@@ -36,8 +37,14 @@ else
   echo "== ruff not installed; skipping lint (CI will run it)"
 fi
 
+echo "== scalla-lint (repo rules)"
+python -m repro.analysis.lint src tests benchmarks
+
 echo "== tier-1 tests"
 python -m pytest -x -q
+
+echo "== determinism (same-seed double run, SimSan on run 2)"
+python -m repro.analysis.determinism --sanitize
 
 if [ "$run_bench" -eq 1 ]; then
   echo "== smoke benches (E1, E6)"

@@ -1,0 +1,54 @@
+"""Static analysis and runtime invariant checking for the reproduction.
+
+Two complementary tools live here, both born of the same observation: the
+paper's guarantees are *machine-checkable* — 64-bit vector disjointness,
+Fibonacci table sizing at 80% load, hide-then-remove eviction, O(1)
+correction math, and a deterministic event kernel — so nothing should rely
+on review alone to keep them true.
+
+* :mod:`repro.analysis.lint` — ``scalla-lint``, an AST-based custom lint
+  pass with repo-specific rules (no wall clock in simulation code, no
+  unseeded randomness, no set-order iteration in protocol code, bitvec
+  mutations through :mod:`repro.core.bitvec`, table sizes from
+  :mod:`repro.core.fibonacci`).  Run it as::
+
+      python -m repro.analysis.lint src tests benchmarks
+
+* :mod:`repro.analysis.simsan` — SimSan, a runtime sanitizer
+  (``ScallaConfig(sanitize=True)``, or ``SCALLA_SANITIZE=1``) that sweeps
+  every structural invariant across a live cluster's caches, response
+  queues, and membership state after each eviction tick and cache mutation
+  batch, raising typed :mod:`repro.analysis.violations` errors.
+
+* :mod:`repro.analysis.determinism` — a harness that runs the same seeded
+  workload twice and diffs the resulting event streams and metric
+  snapshots, pinning the kernel's determinism guarantee::
+
+      python -m repro.analysis.determinism
+
+Only :mod:`repro.analysis.violations` is imported eagerly: the core data
+structures raise its typed errors, and importing the heavier linter or
+sanitizer machinery from there would create an import cycle.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.violations import (
+    AnchorLeakViolation,
+    CorrectionCounterViolation,
+    InvariantViolation,
+    LoadFactorViolation,
+    TableStructureViolation,
+    VectorInvariantViolation,
+    WindowAccountingViolation,
+)
+
+__all__ = [
+    "InvariantViolation",
+    "VectorInvariantViolation",
+    "LoadFactorViolation",
+    "TableStructureViolation",
+    "WindowAccountingViolation",
+    "CorrectionCounterViolation",
+    "AnchorLeakViolation",
+]

@@ -1,0 +1,238 @@
+"""``scalla-lint`` — the AST lint engine and command-line front end.
+
+The engine walks the given files/directories, parses each Python file
+once, runs every registered rule from :mod:`repro.analysis.rules` whose
+scope covers the file, filters suppressed findings, and reports the rest
+in human-readable or JSON form::
+
+    python -m repro.analysis.lint src tests benchmarks
+    python -m repro.analysis.lint --format json src
+    python -m repro.analysis.lint --select SIM001,SCA001 src
+    python -m repro.analysis.lint --list-rules
+
+Exit status: 0 when clean, 1 when violations (or unparsable files) were
+found, 2 on usage errors.
+
+Suppressions
+------------
+
+* ``# scalla-lint: disable=SIM003`` on the offending line suppresses the
+  named rule(s) there (comma-separate several ids; ``all`` disables every
+  rule for that line).
+* ``# scalla-lint: disable-file=SCA002`` anywhere in a file suppresses the
+  named rule(s) for the whole file.
+
+Suppressions are deliberately loud in the diff: grepping for
+``scalla-lint: disable`` inventories every accepted exception.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import dataclasses
+import json
+import pathlib
+import re
+import sys
+from typing import Iterable, Iterator
+
+from repro.analysis.rules import REGISTRY, Rule
+
+__all__ = ["LintViolation", "FileContext", "lint_source", "lint_paths", "main"]
+
+_SUPPRESS_RE = re.compile(r"#\s*scalla-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)")
+
+#: Directories never descended into when walking a tree.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache", ".pytest_cache", "results"})
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class LintViolation:
+    """One finding: where, which rule, and what."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class FileContext:
+    """Per-file state handed to every rule: the path plus a report sink."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.violations: list[LintViolation] = []
+        self._line_disables: dict[int, set[str]] = {}
+        self._file_disables: set[str] = set()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            ids = {r.strip().upper() for r in match.group(2).split(",") if r.strip()}
+            if match.group(1) == "disable-file":
+                self._file_disables |= ids
+            else:
+                self._line_disables.setdefault(lineno, set()).update(ids)
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        file_level = self._file_disables
+        line_level = self._line_disables.get(line, ())
+        return (
+            rule_id in file_level
+            or "ALL" in file_level
+            or rule_id in line_level
+            or "ALL" in line_level
+        )
+
+    def report(self, rule: Rule, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if self.suppressed(rule.id, line):
+            return
+        self.violations.append(LintViolation(self.path, line, col, rule.id, message))
+
+
+# -- running rules ------------------------------------------------------------
+
+
+def _normalize(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def _select_rules(select: Iterable[str] | None) -> list[Rule]:
+    if select is None:
+        return list(REGISTRY)
+    wanted = {s.strip().upper() for s in select if s.strip()}
+    rules = [r for r in REGISTRY if r.id in wanted]
+    missing = wanted - {r.id for r in rules}
+    if missing:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(missing))}")
+    return rules
+
+
+def lint_source(
+    source: str, path: str, *, rules: Iterable[Rule] | None = None
+) -> list[LintViolation]:
+    """Lint one source text as though it lived at *path*."""
+    path = _normalize(path)
+    active = list(rules) if rules is not None else list(REGISTRY)
+    ctx = FileContext(path, source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintViolation(path, exc.lineno or 1, (exc.offset or 1) - 1, "PARSE", f"syntax error: {exc.msg}")
+        ]
+    for rule in active:
+        if rule.applies_to(path):
+            rule.check(tree, ctx)
+    return sorted(ctx.violations)
+
+
+def _iter_python_files(paths: Iterable[str]) -> Iterator[pathlib.Path]:
+    for raw in paths:
+        p = pathlib.Path(raw)
+        if p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    yield sub
+        else:
+            # Explicit file arguments are linted regardless of extension —
+            # that is how fixture files with violations are exercised.
+            yield p
+
+
+def lint_paths(
+    paths: Iterable[str], *, rules: Iterable[Rule] | None = None
+) -> tuple[list[LintViolation], int]:
+    """Lint files/trees; returns ``(violations, files_checked)``."""
+    violations: list[LintViolation] = []
+    checked = 0
+    for file in _iter_python_files(paths):
+        try:
+            source = file.read_text()
+        except OSError as exc:
+            violations.append(LintViolation(_normalize(str(file)), 1, 0, "PARSE", str(exc)))
+            continue
+        checked += 1
+        violations.extend(lint_source(source, str(file), rules=rules))
+    return sorted(violations), checked
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in REGISTRY:
+        lines.append(f"{rule.id}  {rule.title}")
+        lines.append(f"      {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="scalla-lint: repo-specific static analysis for the Scalla reproduction",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--select", default=None, help="comma-separated rule ids to run (default: all)"
+    )
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalogue")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (or use --list-rules)", file=sys.stderr)
+        return 2
+
+    try:
+        rules = _select_rules(args.select.split(",")) if args.select else None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    violations, checked = lint_paths(args.paths, rules=rules)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "tool": "scalla-lint",
+                    "files_checked": checked,
+                    "violations": [v.to_dict() for v in violations],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for v in violations:
+            print(v.render())
+        print(
+            f"scalla-lint: {len(violations)} violation(s) in {checked} file(s)",
+            file=sys.stderr,
+        )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,132 @@
+"""Typed invariant-violation errors.
+
+The core structures used to enforce their invariants with bare ``assert``
+statements, which made two things hard: a failing check could not say
+*which* paper invariant broke or *where* (node, path, server slot), and
+callers could not catch one class of violation without catching every
+``AssertionError`` in sight.
+
+Every error here derives from :class:`InvariantViolation`, which itself
+derives from ``AssertionError`` — existing callers (and tests) that treat
+an invariant failure as an assertion keep working, while new code can
+catch, log, and report the typed variants with their structured context.
+
+This module deliberately imports nothing from the rest of the package:
+:mod:`repro.core` raises these errors, and :mod:`repro.analysis.simsan`
+imports :mod:`repro.core`, so any dependency from here back into either
+would be a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "InvariantViolation",
+    "VectorInvariantViolation",
+    "LoadFactorViolation",
+    "TableStructureViolation",
+    "WindowAccountingViolation",
+    "CorrectionCounterViolation",
+    "AnchorLeakViolation",
+]
+
+
+class InvariantViolation(AssertionError):
+    """A structural invariant of the reproduction no longer holds.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of what broke.
+    invariant:
+        Short identifier of the violated rule (e.g. ``"vq-disjoint"``),
+        stable enough for tests and log scrapers to match on.
+    node:
+        Name of the cluster node whose state is corrupt, when known.
+    path:
+        The file path (cache key) involved, when the violation is tied to
+        one location object.
+    context:
+        Any further keyword details (server slot, counter values, ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        invariant: str = "",
+        node: str = "",
+        path: str = "",
+        **context: Any,
+    ) -> None:
+        self.invariant = invariant
+        self.node = node
+        self.path = path
+        self.context = context
+        prefix = []
+        if invariant:
+            prefix.append(f"[{invariant}]")
+        if node:
+            prefix.append(f"node={node}")
+        if path:
+            prefix.append(f"path={path!r}")
+        detail = " ".join(f"{k}={v!r}" for k, v in context.items())
+        parts = [" ".join(prefix), message, detail]
+        super().__init__(" ".join(p for p in parts if p))
+
+
+class VectorInvariantViolation(InvariantViolation):
+    """A 64-bit server vector broke its rules.
+
+    Covers: a vector outside the 64-bit range, ``V_q`` overlapping
+    ``V_h | V_p`` (paper §III-A1: a server either answered or still needs
+    asking, never both), and ``V_h`` overlapping ``V_p`` (a server cannot
+    simultaneously have the file online and be staging it).
+    """
+
+
+class LoadFactorViolation(InvariantViolation):
+    """The hash table exceeded its 80% growth threshold.
+
+    Growth happens *before* the insert that would cross the threshold
+    (paper §III-A1), so at no observable point may the chained count exceed
+    ``size * 0.8``.
+    """
+
+
+class TableStructureViolation(InvariantViolation):
+    """Hash-table bookkeeping is inconsistent.
+
+    An object chained in the wrong bucket for its hash, a count that does
+    not match the chains, or a table size that is not a Fibonacci number.
+    """
+
+
+class WindowAccountingViolation(InvariantViolation):
+    """Eviction-window bookkeeping is inconsistent.
+
+    An object whose ``chain_window`` disagrees with the chain it physically
+    sits in, an object chained twice, a visible cache object chained
+    nowhere, or a window stamp outside ``[0, 64)``.
+    """
+
+
+class CorrectionCounterViolation(InvariantViolation):
+    """The connection-clock counters broke their ordering rules.
+
+    Every per-slot counter ``C[i]`` records the master counter ``N_c`` at
+    that slot's last connection, so ``C[i] <= N_c`` always, occupied slots
+    carry distinct positive stamps, and no cached object may snapshot a
+    ``C_n`` from the future.
+    """
+
+
+class AnchorLeakViolation(InvariantViolation):
+    """Fast-response-queue anchor accounting leaked.
+
+    Active/free counts that do not partition the 1024 anchors, an in-use
+    anchor unreachable from the expiry timeline (it would wait forever —
+    the leak the 133 ms clock exists to prevent), or waiters parked on a
+    reclaimed anchor.
+    """

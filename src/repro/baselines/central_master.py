@@ -64,7 +64,7 @@ class CentralMaster:
     def deregister(self, node: str) -> int:
         """Remove a node and every mapping it contributed (O(its files))."""
         paths = self._files_by_node.pop(node, set())
-        for p in paths:
+        for p in sorted(paths):
             holders = self._holders.get(p)
             if holders is not None:
                 holders.discard(node)

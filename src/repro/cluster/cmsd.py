@@ -31,6 +31,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.analysis.simsan import Sanitizer
 from repro.cluster import protocol as pr
 from repro.cluster.ids import NodeId, Role, cmsd_host
 from repro.cluster.xrootd import XrootdServer
@@ -89,6 +90,11 @@ class CmsdConfig:
     #: site (WAN federations, §IV-A); falls back to the full candidate set
     #: when no local replica exists.
     locality_aware: bool = False
+    #: SimSan (repro.analysis.simsan): when True, manager/supervisor cmsds
+    #: sweep their cache/queue/membership invariants after every eviction
+    #: tick, response-processing batch, and expiry pass.  Sweeps are pure
+    #: reads — event streams are identical with it on or off.
+    sanitize: bool = False
 
 
 @dataclass
@@ -205,6 +211,7 @@ class Cmsd:
             self.deadline = DeadlinePolicy(full_delay=self.config.full_delay)
             self.metrics = ServerMetrics()
             self.children: dict[str, ChildInfo] = {}
+            self.sanitizer = Sanitizer(node=node_id.name) if self.config.sanitize else None
         else:
             self.membership = None
             self.cache = None
@@ -212,6 +219,7 @@ class Cmsd:
             self.deadline = None
             self.metrics = None
             self.children = {}
+            self.sanitizer = None
 
         self._procs: list[Process] = []
         self._rq_wake = None
@@ -308,7 +316,10 @@ class Cmsd:
                 # oldest anchor infinitesimally younger than the cutoff,
                 # which would spin this loop on zero-length timeouts.
                 yield self.sim.timeout(max(0.0, nxt - self.sim.now) + 1e-6)
-                for waiter in self.rq.expire(self.sim.now):
+                expired = self.rq.expire(self.sim.now)
+                if self.sanitizer is not None and expired:
+                    self.sanitizer.check_queue(self.rq)
+                for waiter in expired:
                     payload = waiter.payload
                     if isinstance(payload, _ClientWaiter):
                         self._close_wait_span(payload.span, outcome="timeout")
@@ -332,6 +343,10 @@ class Cmsd:
                 yield self.sim.timeout(self.cache.tick_interval)
                 self.cache.tick()
                 self.cache.run_background_removal()
+                if self.sanitizer is not None:
+                    self.sanitizer.sweep(
+                        cache=self.cache, rq=self.rq, membership=self.membership
+                    )
         except Interrupt:
             return
 
@@ -755,6 +770,12 @@ class Cmsd:
                 obj, slot, write_capable=msg.write_capable, now=self.sim.now
             )
         )
+        if self.sanitizer is not None:
+            # Mutation batch just completed: vectors changed and (possibly)
+            # an anchor was reclaimed — check both sides of the coupling.
+            if obj is not None:
+                self.sanitizer.check_object(obj)
+            self.sanitizer.check_queue(self.rq)
         answered_parents = {
             w.payload.parent_host for w in released if isinstance(w.payload, _ParentWaiter)
         }

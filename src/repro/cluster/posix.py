@@ -62,7 +62,7 @@ class PosixView:
             head, sep, _tail = rest.partition("/")
             (dirs if sep else files).add(head)
         return sorted(
-            [DirEntry(d, True) for d in dirs] + [DirEntry(f, False) for f in files],
+            [DirEntry(d, True) for d in sorted(dirs)] + [DirEntry(f, False) for f in sorted(files)],
             key=lambda e: e.name,
         )
 

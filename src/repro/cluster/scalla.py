@@ -16,6 +16,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field, replace
 
@@ -33,6 +34,16 @@ from repro.sim.latency import Fixed, LatencyModel
 from repro.sim.network import Network
 
 __all__ = ["ScallaConfig", "ScallaCluster"]
+
+
+def _sanitize_default() -> bool:
+    """SimSan default: off, unless SCALLA_SANITIZE is set in the environment.
+
+    The env hook lets the whole test suite run sanitized without touching a
+    line of test code: ``SCALLA_SANITIZE=1 pytest`` (CI's determinism job
+    does exactly that).
+    """
+    return os.environ.get("SCALLA_SANITIZE", "").lower() in ("1", "true", "yes", "on")
 
 
 @dataclass
@@ -80,6 +91,10 @@ class ScallaConfig:
     #: hot path plus per-request resolution traces, all stamped with sim
     #: time.  Off by default: the uninstrumented path stays fast.
     observability: bool = False
+    #: SimSan (repro.analysis.simsan): runtime invariant sweeps on every
+    #: manager/supervisor cmsd.  Pure reads — turning it on costs time but
+    #: changes no event stream.  Defaults from the SCALLA_SANITIZE env var.
+    sanitize: bool = field(default_factory=_sanitize_default)
 
     client: ClientConfig = field(default_factory=ClientConfig)
 
@@ -97,6 +112,7 @@ class ScallaConfig:
             fast_response=self.fast_response,
             deadline_sync=self.deadline_sync,
             locality_aware=self.locality_aware,
+            sanitize=self.sanitize and role is not Role.SERVER,
         )
 
     def xrootd_config(self) -> XrootdConfig:

@@ -27,7 +27,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-from repro.core import bitvec
+from repro.analysis.violations import LoadFactorViolation, WindowAccountingViolation
+from repro.core import fibonacci
 from repro.core.corrections import ClusterMembership, apply_corrections
 from repro.core.crc32 import hash_name
 from repro.core.eviction import DEFAULT_LIFETIME, WINDOW_COUNT, EvictionWindows, TickResult
@@ -327,8 +328,30 @@ class NameCache:
                 )
 
     def check_invariants(self) -> None:
-        """Cross-structure consistency: table, windows, vector invariants."""
-        self.table.check_invariants(on_object=lambda o: o.check_invariants() if not o.hidden else None)
+        """Cross-structure consistency: table, windows, vector invariants.
+
+        Raises typed :mod:`repro.analysis.violations` errors (all
+        ``AssertionError`` subclasses).  SimSan calls this after every tick
+        and mutation batch when ``ScallaConfig.sanitize`` is on.
+        """
+        self.table.check_invariants(
+            on_object=lambda o: o.check_invariants() if not o.hidden else None
+        )
         self.windows.check_invariants()
+        # Growth runs *before* the triggering insert, so the 80% bound holds
+        # after every completed operation.
+        if self.table.count > self.table.size * fibonacci.GROWTH_THRESHOLD:
+            raise LoadFactorViolation(
+                "table over the 80% growth threshold",
+                invariant="load-factor",
+                count=self.table.count,
+                size=self.table.size,
+            )
         for obj in self.table.visible():
-            assert obj.v_q & ~bitvec.FULL_MASK == 0
+            if not 0 <= obj.chain_window < WINDOW_COUNT:
+                raise WindowAccountingViolation(
+                    "visible object not chained in any eviction window",
+                    invariant="visible-chained",
+                    path=obj.key,
+                    chain_window=obj.chain_window,
+                )

@@ -153,7 +153,7 @@ class ClusterMembership:
         v_c = 0
         for i in range(bitvec.MAX_SERVERS):
             if self.c[i] > c_n:
-                v_c |= 1 << i
+                v_c |= bitvec.bit(i)
         return v_c
 
     # -- membership events -----------------------------------------------------
@@ -201,7 +201,9 @@ class ClusterMembership:
         self._by_name[name] = slot
         self.v_members |= bitvec.bit(slot)
         self.v_offline &= ~bitvec.bit(slot) & bitvec.FULL_MASK
-        for p in path_set:
+        # sorted(): path_set is a frozenset and registration order decides
+        # dict insertion order in self._paths, which eligible() iterates.
+        for p in sorted(path_set):
             entry = self._paths.setdefault(p, _PathEntry())
             entry.v_m |= bitvec.bit(slot)
             entry.refcount[slot] = entry.refcount.get(slot, 0) + 1
@@ -242,7 +244,7 @@ class ClusterMembership:
         entry = self._slots[slot]
         if entry is None:
             raise KeyError(f"slot {slot} is not occupied")
-        for p in entry.paths:
+        for p in sorted(entry.paths):
             pe = self._paths[p]
             pe.refcount.pop(slot, None)
             pe.v_m &= ~bitvec.bit(slot) & bitvec.FULL_MASK

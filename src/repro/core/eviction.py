@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.violations import WindowAccountingViolation
 from repro.core.location import LocationObject
 
 __all__ = ["EvictionWindows", "TickResult", "WINDOW_COUNT", "DEFAULT_LIFETIME"]
@@ -188,9 +189,27 @@ class EvictionWindows:
         return result
 
     def check_invariants(self) -> None:
-        """Every chained object's ``chain_window`` must match its chain."""
+        """Every chained object's ``chain_window`` must match its chain.
+
+        Raises :class:`~repro.analysis.violations.WindowAccountingViolation`
+        (an ``AssertionError`` subclass) naming the object and windows.
+        """
+        seen: dict[int, int] = {}
         for w, chain in enumerate(self._chains):
             for obj in chain:
-                assert obj.chain_window == w, (
-                    f"{obj.key!r}: chain_window={obj.chain_window} but chained in {w}"
-                )
+                if obj.chain_window != w:
+                    raise WindowAccountingViolation(
+                        "chain_window disagrees with physical chain",
+                        invariant="chain-window",
+                        path=obj.key,
+                        chain_window=obj.chain_window,
+                        chained_in=w,
+                    )
+                if id(obj) in seen:
+                    raise WindowAccountingViolation(
+                        "object chained twice",
+                        invariant="single-chain",
+                        path=obj.key,
+                        windows=(seen[id(obj)], w),
+                    )
+                seen[id(obj)] = w

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator
 
+from repro.analysis.violations import TableStructureViolation
 from repro.core import fibonacci
 from repro.core.location import LocationObject
 
@@ -148,16 +149,33 @@ class LocationTable:
         self.resizes += 1
 
     def check_invariants(self, on_object: Callable[[LocationObject], None] | None = None) -> None:
-        """Verify structural invariants; optionally run a per-object check."""
-        assert fibonacci.is_fibonacci(self._size)
+        """Verify structural invariants; optionally run a per-object check.
+
+        Raises :class:`~repro.analysis.violations.TableStructureViolation`
+        (an ``AssertionError`` subclass) with bucket/key context.
+        """
+        if not fibonacci.is_fibonacci(self._size):
+            raise TableStructureViolation(
+                "table size is not a Fibonacci number", invariant="fib-size", size=self._size
+            )
         total = 0
         for idx, bucket in enumerate(self._buckets):
             for obj in bucket:
-                assert obj.hash_val % self._size == idx, (
-                    f"object {obj.key!r} chained in bucket {idx}, "
-                    f"belongs in {obj.hash_val % self._size}"
-                )
+                if obj.hash_val % self._size != idx:
+                    raise TableStructureViolation(
+                        "object chained in the wrong bucket",
+                        invariant="bucket-placement",
+                        path=obj.key,
+                        bucket=idx,
+                        expected=obj.hash_val % self._size,
+                    )
                 if on_object is not None:
                     on_object(obj)
                 total += 1
-        assert total == self._count, f"count {self._count} != chained {total}"
+        if total != self._count:
+            raise TableStructureViolation(
+                "chained-object count out of sync",
+                invariant="count-sync",
+                count=self._count,
+                chained=total,
+            )

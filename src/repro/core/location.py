@@ -22,6 +22,11 @@ that the storage now belongs to a different file.
 
 from __future__ import annotations
 
+from repro.analysis.violations import (
+    InvariantViolation,
+    VectorInvariantViolation,
+    WindowAccountingViolation,
+)
 from repro.core import bitvec
 
 __all__ = ["LocationObject", "NO_QUEUE"]
@@ -198,16 +203,39 @@ class LocationObject:
         return self.v_h == 0 and self.v_p == 0 and self.v_q == 0
 
     def check_invariants(self) -> None:
-        """Raise ``AssertionError`` on any violated structural invariant."""
-        bitvec.validate(self.v_h)
-        bitvec.validate(self.v_p)
-        bitvec.validate(self.v_q)
-        assert self.v_q & (self.v_h | self.v_p) == 0, (
-            f"v_q overlaps v_h|v_p for {self.key!r}: "
-            f"q={self.v_q:#x} h={self.v_h:#x} p={self.v_p:#x}"
-        )
-        assert 0 <= self.t_a < 64, f"t_a {self.t_a} outside window range"
-        assert self.key_len in (0, len(self.key))
+        """Raise a typed :class:`InvariantViolation` on any broken invariant.
+
+        All errors derive from ``AssertionError``, so callers that treated
+        this as an assertion keep working; SimSan and tests catch the
+        typed classes to know *which* paper invariant broke.
+        """
+        for label, vec in (("v_h", self.v_h), ("v_p", self.v_p), ("v_q", self.v_q)):
+            try:
+                bitvec.validate(vec)
+            except (TypeError, ValueError) as exc:
+                raise VectorInvariantViolation(
+                    str(exc), invariant="vec-64bit", path=self.key, vector=label
+                ) from exc
+        if self.v_q & (self.v_h | self.v_p) != 0:
+            raise VectorInvariantViolation(
+                "v_q overlaps v_h|v_p",
+                invariant="vq-disjoint",
+                path=self.key,
+                v_q=f"{self.v_q:#x}",
+                v_h=f"{self.v_h:#x}",
+                v_p=f"{self.v_p:#x}",
+            )
+        if not 0 <= self.t_a < 64:
+            raise WindowAccountingViolation(
+                "t_a outside window range", invariant="ta-range", path=self.key, t_a=self.t_a
+            )
+        if self.key_len not in (0, len(self.key)):
+            raise InvariantViolation(
+                "key_len is neither 0 (hidden) nor len(key)",
+                invariant="keylen",
+                path=self.key,
+                key_len=self.key_len,
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "hidden" if self.hidden else "live"

@@ -1,0 +1,136 @@
+"""Typed invariant-violation errors: hierarchy, context, raise sites."""
+
+import pytest
+
+from repro.analysis.violations import (
+    AnchorLeakViolation,
+    CorrectionCounterViolation,
+    InvariantViolation,
+    LoadFactorViolation,
+    TableStructureViolation,
+    VectorInvariantViolation,
+    WindowAccountingViolation,
+)
+from repro.core.crc32 import hash_name
+from repro.core.eviction import EvictionWindows
+from repro.core.hashtable import LocationTable
+from repro.core.location import LocationObject
+
+
+def make(key):
+    obj = LocationObject()
+    obj.assign(key, hash_name(key), c_n=0, t_a=0)
+    return obj
+
+
+class TestHierarchy:
+    def test_all_are_assertion_errors(self):
+        for cls in (
+            InvariantViolation,
+            VectorInvariantViolation,
+            LoadFactorViolation,
+            TableStructureViolation,
+            WindowAccountingViolation,
+            CorrectionCounterViolation,
+            AnchorLeakViolation,
+        ):
+            assert issubclass(cls, AssertionError)
+            assert issubclass(cls, InvariantViolation)
+
+    def test_message_carries_context(self):
+        exc = VectorInvariantViolation(
+            "broke", invariant="vq-disjoint", node="mgr0", path="/store/f", v_q="0x3"
+        )
+        text = str(exc)
+        assert "[vq-disjoint]" in text
+        assert "node=mgr0" in text
+        assert "path='/store/f'" in text
+        assert "v_q='0x3'" in text
+        assert exc.invariant == "vq-disjoint"
+        assert exc.context == {"v_q": "0x3"}
+
+    def test_bare_message(self):
+        exc = InvariantViolation("plain")
+        assert str(exc) == "plain"
+        assert exc.node == "" and exc.path == "" and exc.invariant == ""
+
+
+class TestLocationObjectRaises:
+    def test_vq_overlap_is_typed(self):
+        obj = make("/store/a")
+        obj.v_h = 0b11
+        obj.v_q = 0b01
+        with pytest.raises(VectorInvariantViolation) as exc_info:
+            obj.check_invariants()
+        assert exc_info.value.invariant == "vq-disjoint"
+        assert exc_info.value.path == "/store/a"
+
+    def test_vector_out_of_range(self):
+        obj = make("/store/a")
+        obj.v_p = 1 << 70
+        with pytest.raises(VectorInvariantViolation) as exc_info:
+            obj.check_invariants()
+        assert exc_info.value.invariant == "vec-64bit"
+        assert exc_info.value.context["vector"] == "v_p"
+
+    def test_ta_out_of_range(self):
+        obj = make("/store/a")
+        obj.t_a = 64
+        with pytest.raises(WindowAccountingViolation) as exc_info:
+            obj.check_invariants()
+        assert exc_info.value.invariant == "ta-range"
+
+    def test_keylen_inconsistent(self):
+        obj = make("/store/a")
+        obj.key_len = 3
+        with pytest.raises(InvariantViolation) as exc_info:
+            obj.check_invariants()
+        assert exc_info.value.invariant == "keylen"
+
+    def test_catchable_as_assertion_error(self):
+        """The promotion from bare asserts must not break legacy callers."""
+        obj = make("/store/a")
+        obj.v_h = obj.v_q = 1
+        with pytest.raises(AssertionError):
+            obj.check_invariants()
+
+
+class TestTableRaises:
+    def test_misplaced_object(self):
+        t = LocationTable()
+        obj = make("/a")
+        t.insert(obj)
+        obj.hash_val += 1
+        with pytest.raises(TableStructureViolation) as exc_info:
+            t.check_invariants()
+        assert exc_info.value.invariant == "bucket-placement"
+        assert exc_info.value.path == "/a"
+
+    def test_count_desync(self):
+        t = LocationTable()
+        t.insert(make("/a"))
+        t._count = 5
+        with pytest.raises(TableStructureViolation) as exc_info:
+            t.check_invariants()
+        assert exc_info.value.invariant == "count-sync"
+        assert exc_info.value.context == {"count": 5, "chained": 1}
+
+
+class TestWindowsRaise:
+    def test_chain_window_mismatch(self):
+        w = EvictionWindows()
+        obj = make("/a")
+        w.add(obj)
+        obj.chain_window = 7
+        with pytest.raises(WindowAccountingViolation) as exc_info:
+            w.check_invariants()
+        assert exc_info.value.invariant == "chain-window"
+
+    def test_double_chaining(self):
+        w = EvictionWindows()
+        obj = make("/a")
+        w.add(obj)
+        w._chains[obj.chain_window].append(obj)
+        with pytest.raises(WindowAccountingViolation) as exc_info:
+            w.check_invariants()
+        assert exc_info.value.invariant == "single-chain"

@@ -16,6 +16,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
+from repro.analysis.simsan import Sanitizer
 from repro.core import bitvec
 from repro.core.cache import NameCache
 from repro.core.corrections import ClusterMembership, apply_corrections
@@ -33,6 +34,11 @@ class TestBitvecProperties:
     @given(vectors)
     def test_roundtrip_indices(self, v):
         assert bitvec.from_indices(bitvec.to_indices(v)) == v
+
+    @given(st.lists(slots, max_size=64))
+    def test_roundtrip_from_indices(self, idxs):
+        """The reverse round trip: indices -> vector -> sorted unique indices."""
+        assert bitvec.to_indices(bitvec.from_indices(idxs)) == sorted(set(idxs))
 
     @given(vectors)
     def test_count_equals_index_count(self, v):
@@ -62,6 +68,16 @@ class TestFibonacciProperties:
         # No Fibonacci number lies strictly between n and f.
         if is_fibonacci(n):
             assert next_fibonacci(n - 1) in (n, f) if n > 0 else True
+
+    @given(st.integers(min_value=1, max_value=10**6), st.integers(min_value=1, max_value=12))
+    def test_grow_sequence_monotone(self, start, steps):
+        """The table's grow sequence: strictly increasing and never leaving
+        the Fibonacci ladder, from any starting size."""
+        sizes = [next_fibonacci(start)]
+        for _ in range(steps):
+            sizes.append(next_fibonacci(sizes[-1]))
+        assert all(b > a for a, b in zip(sizes, sizes[1:]))
+        assert all(is_fibonacci(s) for s in sizes)
 
 
 class TestLocationProperties:
@@ -233,6 +249,11 @@ class CacheMachine(RuleBasedStateMachine):
     @invariant()
     def structures_consistent(self):
         self.cache.check_invariants()
+
+    @invariant()
+    def simsan_sweep_clean(self):
+        # The runtime sanitizer must agree under arbitrary interleavings.
+        Sanitizer().sweep(cache=self.cache, membership=self.m)
 
 
 TestCacheMachine = CacheMachine.TestCase
