@@ -9,10 +9,15 @@ EXPERIMENTS.md points at.  Tables are also echoed to stdout (visible with
 
 from __future__ import annotations
 
+import json
 import pathlib
+import platform
 from typing import Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Repo root — where the BENCH_*.json perf-trajectory files live.
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 def _fmt_row(cells: Sequence[object], widths: list[int]) -> str:
@@ -57,6 +62,56 @@ def us(seconds: float) -> str:
 
 def ms(seconds: float) -> str:
     return f"{seconds * 1e3:.2f}ms"
+
+
+def bench_path(name: str) -> pathlib.Path:
+    """Path of the committed perf-trajectory file for *name*."""
+    return REPO_ROOT / f"BENCH_{name}.json"
+
+
+def load_bench(name: str) -> dict:
+    """Load a BENCH file; an empty skeleton when it does not exist yet."""
+    path = bench_path(name)
+    if not path.exists():
+        return {"benchmark": name, "entries": []}
+    return json.loads(path.read_text())
+
+
+def record_bench(
+    name: str,
+    label: str,
+    metrics: dict[str, float],
+    *,
+    calibration: float,
+    notes: str = "",
+    echo: bool = True,
+) -> pathlib.Path:
+    """Append one labelled entry to ``BENCH_<name>.json`` at the repo root.
+
+    Every entry carries the interpreter/platform it was measured on plus a
+    ``calibration`` rate (a fixed pure-Python spin loop, see
+    ``benchmarks/perf``), which is what lets ``scripts/check_perf.py``
+    compare throughput numbers recorded on different machines.  Entries
+    are append-only: the file is the perf *trajectory*, one pair of
+    before/after points per optimization PR.
+    """
+    doc = load_bench(name)
+    entry = {
+        "label": label,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "calibration": round(calibration, 1),
+        "metrics": dict(metrics),
+    }
+    if notes:
+        entry["notes"] = notes
+    doc["entries"].append(entry)
+    out = bench_path(name)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    if echo:
+        rendered = "  ".join(f"{k}={v}" for k, v in sorted(metrics.items()))
+        print(f"[perf] {name} «{label}»: {rendered}")
+    return out
 
 
 def record_snapshot(experiment: str, snapshot: dict, *, echo: bool = True) -> pathlib.Path:

@@ -3,8 +3,10 @@
 #
 #   scripts/check.sh           # ruff (if installed) + scalla-lint +
 #                              # tier-1 tests + determinism double-run
-#   scripts/check.sh --bench   # also run the E1/E6 smoke benches and
-#                              # validate their metric snapshots
+#   scripts/check.sh --bench   # also run the E1/E6 smoke benches,
+#                              # validate their metric snapshots, and
+#                              # gate the perf suite against the
+#                              # committed BENCH_*.json baseline
 #
 # Ruff is optional locally (CI always has it): when it is not importable
 # the lint step is skipped with a warning instead of failing, so the
@@ -55,6 +57,8 @@ if [ "$run_bench" -eq 1 ]; then
   python scripts/check_snapshots.py \
     benchmarks/results/e1.metrics.json \
     benchmarks/results/e6.metrics.json
+  echo "== perf gate (quick suite vs committed BENCH baseline)"
+  python scripts/check_perf.py --quick
 fi
 
 echo "== all checks passed"

@@ -23,7 +23,11 @@ reproduction:
   one audited place;
 * hash-table sizes come from the :mod:`repro.core.fibonacci` ladder
   (SCA002) — a hard-coded non-Fibonacci size silently reintroduces the
-  power-of-two clustering the paper's footnote 4 measured.
+  power-of-two clustering the paper's footnote 4 measured;
+* the kernel's dispatch path never allocates event objects (SCA003) —
+  ``Simulator.step()``/``run()`` must route immediate wakeups through the
+  deferred-resume ring and recycled timeout storage, or the allocation
+  rate the ``benchmarks/perf`` suite gates on silently creeps back.
 
 Every rule supports per-line suppression with ``# scalla-lint:
 disable=RULE`` and per-file suppression with ``# scalla-lint:
@@ -439,3 +443,46 @@ class FibonacciTableSizes(Rule):
                         f"table size {value.value} is not a Fibonacci number; "
                         "sizes must come from repro.core.fibonacci",
                     )
+
+
+# -- SCA003: no event allocation on the kernel dispatch path ---------------------
+
+
+@register
+class NoDispatchAllocation(Rule):
+    id = "SCA003"
+    title = "no Event/Timeout/Process construction inside Simulator.step()/run()"
+    rationale = (
+        "The dispatch loop runs once per simulated event — the hottest path "
+        "in the repo, tracked by `benchmarks/perf` and gated by "
+        "`scripts/check_perf.py`.  Allocating an `Event` (or `Timeout`/"
+        "`Process`) there reintroduces the per-event bootstrap/poke garbage "
+        "the deferred-resume ring and the pooled-timeout free list were "
+        "built to remove.  Immediate wakeups go through `Simulator._defer`; "
+        "delays come from the recycled `sleep()` storage."
+    )
+
+    _EVENT_TYPES = frozenset({"Event", "Timeout", "Process"})
+    _DISPATCH_METHODS = frozenset({"step", "run"})
+
+    def check(self, tree: ast.Module, ctx: "FileContext") -> None:
+        for cls in ast.walk(tree):
+            if not isinstance(cls, ast.ClassDef) or cls.name != "Simulator":
+                continue
+            for fn in cls.body:
+                if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if fn.name not in self._DISPATCH_METHODS:
+                    continue
+                for node in ast.walk(fn):
+                    if (
+                        isinstance(node, ast.Call)
+                        and _call_target(node) in self._EVENT_TYPES
+                    ):
+                        ctx.report(
+                            self,
+                            node,
+                            f"`{ast.unparse(node.func)}(...)` allocated inside "
+                            f"Simulator.{fn.name}(); the dispatch path must use "
+                            "the deferred-resume ring / pooled timeouts instead",
+                        )

@@ -112,7 +112,7 @@ def register_over_network(
             tracker.bytes_sent += size
             sent += 1
             # Pace uploads one chunk per delivery window, as TCP would.
-            yield sim.timeout(network.latency_model(node_host, master_host).mean)
+            yield sim.sleep(network.latency_model(node_host, master_host).mean)
         tracker.chunks = sent
 
     sim.process(upload(), name=f"manifest:{node}")

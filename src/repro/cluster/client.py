@@ -258,7 +258,7 @@ class ScallaClient:
                 retries += 1
                 if retries > self.config.max_retries:
                     raise ScallaError(f"retry budget exhausted for {path!r}")
-                yield self.sim.timeout(resp.delay)
+                yield self.sim.sleep(resp.delay)
                 continue
             if isinstance(resp, pr.NotFound):
                 if at_manager:

@@ -280,7 +280,7 @@ class Cmsd:
     def _heartbeat_loop(self):
         try:
             while True:
-                yield self.sim.timeout(self.config.heartbeat_interval)
+                yield self.sim.sleep(self.config.heartbeat_interval)
                 load = self.xrootd.load if self.xrootd is not None else 0.0
                 space = self.xrootd.free_space if self.xrootd is not None else 0.0
                 site = self.network.site_of(self.host.name) or ""
@@ -315,7 +315,7 @@ class Cmsd:
                 # The 1 µs slack guards against float round-off leaving the
                 # oldest anchor infinitesimally younger than the cutoff,
                 # which would spin this loop on zero-length timeouts.
-                yield self.sim.timeout(max(0.0, nxt - self.sim.now) + 1e-6)
+                yield self.sim.sleep(max(0.0, nxt - self.sim.now) + 1e-6)
                 expired = self.rq.expire(self.sim.now)
                 if self.sanitizer is not None and expired:
                     self.sanitizer.check_queue(self.rq)
@@ -340,7 +340,7 @@ class Cmsd:
     def _window_ticker(self):
         try:
             while True:
-                yield self.sim.timeout(self.cache.tick_interval)
+                yield self.sim.sleep(self.cache.tick_interval)
                 self.cache.tick()
                 self.cache.run_background_removal()
                 if self.sanitizer is not None:
@@ -359,7 +359,7 @@ class Cmsd:
         """
         try:
             while True:
-                yield self.sim.timeout(self.config.heartbeat_interval)
+                yield self.sim.sleep(self.config.heartbeat_interval)
                 now = self.sim.now
                 for name, info in list(self.children.items()):
                     slot = self.membership.slot_of(name)
@@ -382,7 +382,7 @@ class Cmsd:
         try:
             while True:
                 env = yield self.host.inbox.get()
-                yield self.sim.timeout(self.config.service_time.sample(self.rng))
+                yield self.sim.sleep(self.config.service_time.sample(self.rng))
                 self._dispatch(env.payload, env.src)
         except Interrupt:
             return

@@ -66,7 +66,7 @@ class MassStorage:
         self.stages_started += 1
 
         def run():
-            yield self.sim.timeout(self.stage_latency.sample(self.rng))
+            yield self.sim.sleep(self.stage_latency.sample(self.rng))
             self.stages_completed += 1
             done.succeed(self._catalog[path])
 

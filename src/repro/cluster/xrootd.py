@@ -137,7 +137,7 @@ class XrootdServer:
         if self._obs is not None:
             self._m_load.set(self.load)
         try:
-            yield self.sim.timeout(self.config.service_time.sample(self.rng))
+            yield self.sim.sleep(self.config.service_time.sample(self.rng))
             if isinstance(msg, pr.Open):
                 yield from self._handle_open(msg)
             elif isinstance(msg, pr.Read):
@@ -213,7 +213,7 @@ class XrootdServer:
         data = self.fs.read(path, msg.offset, msg.length)
         yield self._nic.acquire()
         try:
-            yield self.sim.timeout(len(data) * self.config.per_byte)
+            yield self.sim.sleep(len(data) * self.config.per_byte)
         finally:
             self._nic.release()
         if self._obs is not None:
@@ -227,7 +227,7 @@ class XrootdServer:
             return
         yield self._nic.acquire()
         try:
-            yield self.sim.timeout(len(msg.data) * self.config.per_byte)
+            yield self.sim.sleep(len(msg.data) * self.config.per_byte)
         finally:
             self._nic.release()
         written = self.fs.write(path, msg.offset, msg.data)

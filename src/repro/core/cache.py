@@ -59,7 +59,7 @@ class CacheStats:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}
 
 
-@dataclass
+@dataclass(slots=True)
 class _WindowMemo:
     """Per-window memoized correction vector (§III-A4's V_wc / C_wn).
 
@@ -111,6 +111,9 @@ class NameCache:
             self._m_removed = m.counter("cache_removed_total", node=node)
             self._m_population = m.gauge("cache_population", node=node)
         self._free: list[LocationObject] = []
+        #: Incrementally maintained count of findable objects; keeps
+        #: :meth:`live_count` O(1) (cross-checked by check_invariants).
+        self._live = 0
         #: (object, generation-at-queue-time); the stamp detects entries
         #: whose storage was recycled before this entry was processed.
         self._pending_removal: deque[tuple[LocationObject, int]] = deque()
@@ -127,8 +130,14 @@ class NameCache:
         return self.lifetime / WINDOW_COUNT
 
     def live_count(self) -> int:
-        """Number of findable (non-hidden) location objects."""
-        return sum(1 for _ in self.table.visible())
+        """Number of findable (non-hidden) location objects — O(1).
+
+        Maintained incrementally: +1 on add, -1 when an object is hidden
+        (sweep or explicit invalidate).  The full ``visible()`` scan this
+        replaced is still run — as a cross-check — by
+        :meth:`check_invariants`.
+        """
+        return self._live
 
     # -- the resolution-facing API ------------------------------------------------
 
@@ -166,6 +175,7 @@ class NameCache:
         obj.v_q = v_m
         self.windows.add(obj)
         self.table.insert(obj)
+        self._live += 1
         self.stats.adds += 1
         if self._obs is not None:
             self._m_adds.inc()
@@ -245,7 +255,10 @@ class NameCache:
         if not ref.valid:
             return False
         obj = ref.obj
+        # A valid ref implies the object is visible (hide bumps the
+        # generation), so this always uncounts exactly one live object.
         obj.hide()
+        self._live -= 1
         self._pending_removal.append((obj, obj.generation))
         return True
 
@@ -259,9 +272,12 @@ class NameCache:
         changes once new objects start landing in it.
         """
         result = self.windows.tick()
+        self._live -= result.newly_hidden
         self._pending_removal.extend((obj, obj.generation) for obj in result.hidden)
         self._wmemo[result.window] = None
         if self._obs is not None:
+            # population() is the O(1) incremental counter, so updating the
+            # gauge every tick no longer scans the window chains.
             self._m_population.set(self.windows.population())
         return result
 
@@ -334,9 +350,26 @@ class NameCache:
         ``AssertionError`` subclasses).  SimSan calls this after every tick
         and mutation batch when ``ScallaConfig.sanitize`` is on.
         """
-        self.table.check_invariants(
-            on_object=lambda o: o.check_invariants() if not o.hidden else None
-        )
+        visible = 0
+
+        def _check(obj: LocationObject) -> None:
+            # One table walk covers the per-object vector invariants, the
+            # visible-chained check (formerly a second visible() pass) and
+            # the live-counter cross-check.
+            nonlocal visible
+            if obj.hidden:
+                return
+            visible += 1
+            obj.check_invariants()
+            if not 0 <= obj.chain_window < WINDOW_COUNT:
+                raise WindowAccountingViolation(
+                    "visible object not chained in any eviction window",
+                    invariant="visible-chained",
+                    path=obj.key,
+                    chain_window=obj.chain_window,
+                )
+
+        self.table.check_invariants(on_object=_check)
         self.windows.check_invariants()
         # Growth runs *before* the triggering insert, so the 80% bound holds
         # after every completed operation.
@@ -347,11 +380,13 @@ class NameCache:
                 count=self.table.count,
                 size=self.table.size,
             )
-        for obj in self.table.visible():
-            if not 0 <= obj.chain_window < WINDOW_COUNT:
-                raise WindowAccountingViolation(
-                    "visible object not chained in any eviction window",
-                    invariant="visible-chained",
-                    path=obj.key,
-                    chain_window=obj.chain_window,
-                )
+        # Counter cross-check last: structural violations above are the
+        # root cause when both fire (e.g. objects spliced in behind the
+        # cache's back), and they carry the more actionable context.
+        if visible != self._live:
+            raise WindowAccountingViolation(
+                "incremental live counter out of sync",
+                invariant="live-count-sync",
+                counter=self._live,
+                visible=visible,
+            )

@@ -43,17 +43,21 @@ WINDOW_COUNT = 64
 DEFAULT_LIFETIME = 8 * 3600.0
 
 
-@dataclass
+@dataclass(slots=True)
 class TickResult:
     """Outcome of one window tick.
 
     ``hidden`` objects were logically evicted this tick and await physical
-    removal; ``rechained`` counts objects the sweep moved to their correct
-    window (the deferred re-chaining optimization at work).
+    removal; ``newly_hidden`` counts how many of those the sweep itself hid
+    (the rest were already hidden by an explicit invalidate — the cache's
+    O(1) live counter needs the distinction); ``rechained`` counts objects
+    the sweep moved to their correct window (the deferred re-chaining
+    optimization at work).
     """
 
     window: int
     hidden: list[LocationObject] = field(default_factory=list)
+    newly_hidden: int = 0
     rechained: int = 0
     swept: int = 0
 
@@ -67,6 +71,22 @@ class EvictionWindows:
     purge of its old chain.
     """
 
+    __slots__ = (
+        "_chains",
+        "t_w",
+        "total_hidden",
+        "total_rechained",
+        "total_swept",
+        "_population",
+        "_obs",
+        "_node",
+        "_m_hidden",
+        "_m_rechained",
+        "_m_swept",
+        "_m_ticks",
+        "_m_sweep_frac",
+    )
+
     def __init__(self, *, obs=None, node: str = "") -> None:
         self._chains: list[list[LocationObject]] = [[] for _ in range(WINDOW_COUNT)]
         #: The window clock; monotonically increasing tick count.
@@ -75,6 +95,9 @@ class EvictionWindows:
         self.total_hidden = 0
         self.total_rechained = 0
         self.total_swept = 0
+        #: Incrementally maintained chained-object count; keeps
+        #: :meth:`population` O(1) (cross-checked by check_invariants).
+        self._population = 0
         # Observability (repro.obs): per-tick counters plus an eviction-
         # interference annotation on any resolution trace in flight for a
         # path the sweep hides.
@@ -86,6 +109,9 @@ class EvictionWindows:
             self._m_swept = obs.metrics.counter("evict_swept_total", node=node)
             self._m_ticks = obs.metrics.counter("evict_ticks_total", node=node)
             self._m_sweep_frac = obs.metrics.histogram("evict_sweep_fraction", node=node)
+        else:
+            self._m_hidden = self._m_rechained = self._m_swept = None
+            self._m_ticks = self._m_sweep_frac = None
 
     @property
     def current_window(self) -> int:
@@ -96,8 +122,8 @@ class EvictionWindows:
         return len(self._chains[window])
 
     def population(self) -> int:
-        """Total objects physically chained across all windows."""
-        return sum(len(c) for c in self._chains)
+        """Total objects physically chained across all windows — O(1)."""
+        return self._population
 
     # -- object placement -----------------------------------------------------
 
@@ -107,6 +133,7 @@ class EvictionWindows:
         obj.t_a = w
         obj.chain_window = w
         self._chains[w].append(obj)
+        self._population += 1
 
     def refresh(self, obj: LocationObject) -> None:
         """Renew *obj*'s lifetime without re-chaining it.
@@ -129,6 +156,7 @@ class EvictionWindows:
                 chain[pos] = chain[-1]
                 chain.pop()
                 obj.chain_window = -1
+                self._population -= 1
                 return True
         return False
 
@@ -155,13 +183,14 @@ class EvictionWindows:
         window = self.current_window
         chain = self._chains[window]
         result = TickResult(window=window)
-        population_before = self.population()
+        population_before = self._population
         survivors: list[LocationObject] = []
         for obj in chain:
             result.swept += 1
             if obj.hidden or obj.t_a == window:
                 if not obj.hidden:
                     obj.hide()
+                    result.newly_hidden += 1
                 obj.chain_window = -1
                 result.hidden.append(obj)
             else:
@@ -170,6 +199,7 @@ class EvictionWindows:
                 result.rechained += 1
         # Survivors all moved elsewhere or were hidden; the chain empties.
         self._chains[window] = survivors
+        self._population -= len(result.hidden)
         self.total_hidden += len(result.hidden)
         self.total_rechained += result.rechained
         self.total_swept += result.swept
@@ -213,3 +243,10 @@ class EvictionWindows:
                         windows=(seen[id(obj)], w),
                     )
                 seen[id(obj)] = w
+        if len(seen) != self._population:
+            raise WindowAccountingViolation(
+                "incremental population counter out of sync",
+                invariant="population-sync",
+                counter=self._population,
+                chained=len(seen),
+            )

@@ -78,14 +78,28 @@ class LocationTable:
         Hidden objects in the chain are skipped — that is the whole point of
         hide-by-zero-keylen: O(1) logical removal without disturbing the
         chain structure under concurrent traversal.
+
+        This is the fetch path the paper's latency argument rests on, so
+        ``LocationObject.matches`` is inlined with ``len(key)`` hoisted out
+        of the chain walk, and a zero-length key exits early — it could only
+        structurally match hidden objects, which must stay unfindable.
         """
         self.lookups += 1
         bucket = self._buckets[hash_val % self._size]
-        for pos, obj in enumerate(bucket):
-            if obj.matches(key, hash_val):
-                self.probes += pos + 1
+        klen = len(key)
+        if klen == 0:
+            self.probes += len(bucket)
+            return None
+        pos = 0
+        for obj in bucket:
+            pos += 1
+            # key_len == klen != 0 subsumes the hidden check; hash first —
+            # it is already in hand and rejects almost every non-match
+            # without touching the (potentially long) key string.
+            if obj.hash_val == hash_val and obj.key_len == klen and obj.key == key:
+                self.probes += pos
                 return obj
-        self.probes += len(bucket)
+        self.probes += pos
         return None
 
     def insert(self, obj: LocationObject) -> None:

@@ -22,7 +22,7 @@ from repro.core.location import LocationObject
 __all__ = ["CacheRef"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheRef:
     """A lock-free handle to a cached location object.
 

@@ -156,7 +156,7 @@ class QservMaster:
                 return None  # worker died mid-query
             if isinstance(sresp, pr.StatAck) and sresp.exists and sresp.size > 0:
                 break
-            yield self.sim.timeout(self.config.poll_interval)
+            yield self.sim.sleep(self.config.poll_interval)
         else:
             return None
 

@@ -75,12 +75,12 @@ class QservWorker:
         # The master finishes writing the payload right after the create;
         # one service-time beat lets the Write land before we read.  A real
         # worker uses close-on-write notification; the effect is identical.
-        yield self.sim.timeout(self.node.xrootd.config.service_time.mean * 2)
+        yield self.sim.sleep(self.node.xrootd.config.service_time.mean * 2)
         partition = int(qpath.split("/")[3])
         raw = bytes(self.node.fs.stat(qpath).data)
         if not raw:
             # Write still in flight; check again shortly.
-            yield self.sim.timeout(1e-3)
+            yield self.sim.sleep(1e-3)
             raw = bytes(self.node.fs.stat(qpath).data)
         query = Query.from_bytes(raw)
         table = self.chunks.get(partition)
@@ -90,7 +90,7 @@ class QservWorker:
             # the chunk marker is published, so answering would be noise.
             return
         result = table.execute(query)
-        yield self.sim.timeout(
+        yield self.sim.sleep(
             self.config.query_overhead + result.rows_scanned * self.config.per_row_cost
         )
         self.queries_executed += 1

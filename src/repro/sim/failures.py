@@ -66,7 +66,7 @@ class FailureInjector:
             self.sim.process(self._execute(ev), name=f"failure:{ev.kind}@{ev.at}")
 
     def _execute(self, ev: FailureEvent):
-        yield self.sim.timeout(ev.at - self.sim.now)
+        yield self.sim.sleep(ev.at - self.sim.now)
         if ev.kind == "crash":
             self.network.kill(ev.target)
             if self.on_crash is not None:

@@ -20,6 +20,15 @@ Design rules:
   :class:`Process` (join), a bare :class:`Event` (signal), or the composite
   :class:`AnyOf` / :class:`AllOf`.  That is enough to express every protocol
   in the paper.
+* **Never allocate on the dispatch path.**  This is the hottest loop in the
+  repo (``benchmarks/perf`` tracks it), so the kernel follows the paper's
+  allocation discipline: process bootstrap, interrupt delivery and
+  already-processed wakeups go through a *deferred-resume ring* — a FIFO of
+  ``(seq, fn, value, exc)`` tuples serviced in exact ``(time, seq)`` order
+  with the heap — instead of allocating throwaway ``Event`` objects, and
+  :meth:`Simulator.sleep` hands out pooled :class:`Timeout` storage that the
+  dispatch loop recycles after firing.  scalla-lint rule SCA003 keeps
+  per-event allocations out of ``step()``/``run()``.
 
 Example::
 
@@ -40,6 +49,7 @@ Example::
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable
 
 from repro.sim.errors import Interrupt, SimError, StopSimulation
@@ -47,6 +57,9 @@ from repro.sim.errors import Interrupt, SimError, StopSimulation
 __all__ = ["Event", "Timeout", "Process", "AnyOf", "AllOf", "Simulator"]
 
 _PENDING = object()
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class Event:
@@ -57,6 +70,8 @@ class Event:
     Triggering twice is an error — it would mean two owners disagree about
     what happened.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -86,24 +101,29 @@ class Event:
         return self._value is not _PENDING and self._exception is None
 
     def succeed(self, value: Any = None) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise SimError("event already triggered")
         self._value = value
-        self.sim._enqueue(self)
+        sim = self.sim
+        _heappush(sim._heap, (sim._now, sim._seq, self))
+        sim._seq += 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise SimError("event already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() needs an exception instance")
         self._exception = exception
-        self.sim._enqueue(self)
+        sim = self.sim
+        _heappush(sim._heap, (sim._now, sim._seq, self))
+        sim._seq += 1
         return self
 
     def _fire(self) -> None:
+        # callbacks is never None here: the heap holds each event exactly
+        # once, so _fire runs at most once per trigger.
         callbacks, self.callbacks = self.callbacks, None
-        assert callbacks is not None, "event fired twice"
         for cb in callbacks:
             cb(self)
 
@@ -111,19 +131,69 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` simulated seconds after creation."""
 
+    __slots__ = ("delay", "_pending_value")
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimError(f"negative timeout {delay}")
-        super().__init__(sim)
+        # Event.__init__ and Simulator._enqueue, flattened: a Timeout is
+        # born once per simulated delay, squarely on the hot path.
+        self.sim = sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._exception = None
         self.delay = delay
         # The value is deferred until the heap pops us: a Timeout must not
         # look triggered before its time arrives (AnyOf inspects children).
         self._pending_value = value
-        sim._enqueue(self, delay)
+        _heappush(sim._heap, (sim._now + delay, sim._seq, self))
+        sim._seq += 1
 
     def _fire(self) -> None:
         self._value = self._pending_value
-        super()._fire()
+        callbacks, self.callbacks = self.callbacks, None
+        for cb in callbacks:
+            cb(self)
+
+
+class _PooledTimeout(Timeout):
+    """Kernel-owned :class:`Timeout` storage, recycled after dispatch.
+
+    Handed out by :meth:`Simulator.sleep`; the dispatch loop returns the
+    object to the simulator's free list right after its waiter runs, so
+    the caller must *only* yield it and never keep a reference past the
+    resume (exactly the ``yield sim.sleep(d)`` idiom).
+
+    Because that contract means at most one waiter — the yielding process
+    — the waiter lives in the dedicated ``_waiter`` slot and is resumed
+    directly, skipping the callback list entirely.  The list machinery
+    still works as a fallback (``_wait_on``'s slow path and condition
+    children append to ``callbacks`` like any event) so a stray composite
+    over a pooled timeout degrades to correct, not silent.
+    """
+
+    __slots__ = ("_cb_store", "_waiter")
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        Timeout.__init__(self, sim, delay, value)
+        self._waiter: Process | None = None
+
+    def _fire(self) -> None:
+        value = self._pending_value
+        self._value = value
+        callbacks = self.callbacks
+        self.callbacks = None
+        waiter = self._waiter
+        if waiter is not None:
+            self._waiter = None
+            waiter._resume_core(value, None)
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+            callbacks.clear()
+        # Keep the (empty) waiter list for the next lease of this
+        # storage — one fewer allocation per recycled sleep.
+        self._cb_store = callbacks
 
 
 class Process(Event):
@@ -136,22 +206,41 @@ class Process(Event):
     collects.
     """
 
+    __slots__ = ("gen", "_send", "_name", "_waiting_on")
+
     def __init__(self, sim: "Simulator", gen: Generator, name: str | None = None) -> None:
-        super().__init__(sim)
-        if not hasattr(gen, "send"):
-            raise TypeError(f"process body must be a generator, got {type(gen).__name__}")
+        try:
+            # Bind send once: every resume uses it, and the fetch doubles
+            # as the "is this a generator" check.
+            self._send = gen.send
+        except AttributeError:
+            raise TypeError(
+                f"process body must be a generator, got {type(gen).__name__}"
+            ) from None
+        # Event.__init__ flattened: one process is born per simulated
+        # request in the cluster layer, so spawn cost is hot-path cost.
+        self.sim = sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._exception = None
         self.gen = gen
-        self.name = name or getattr(gen, "__name__", "process")
+        self._name = name
         self._waiting_on: Event | None = None
         # Kick off at the current time, before any already-scheduled event
-        # at a *later* time but after events already queued for now.
-        bootstrap = Event(sim)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        # at a *later* time but after events already queued for now.  Goes
+        # through the deferred-resume ring: same (time, seq) slot a
+        # bootstrap Event would occupy, without allocating one.
+        sim._ready.append((sim._seq, self._resume_core, None, None))
+        sim._seq += 1
+
+    @property
+    def name(self) -> str:
+        """Diagnostic label; resolved lazily — it only matters in errors."""
+        return self._name or getattr(self.gen, "__name__", "process")
 
     @property
     def is_alive(self) -> bool:
-        return not self.triggered
+        return self._value is _PENDING and self._exception is None
 
     def interrupt(self, cause: object = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
@@ -159,43 +248,106 @@ class Process(Event):
         A dead process is left alone (interrupting a finished server during
         teardown should be a no-op, not a crash).
         """
-        if not self.is_alive:
+        if self._value is not _PENDING or self._exception is not None:
             return
-        poke = Event(self.sim)
-        poke.callbacks.append(lambda _e: self._throw(Interrupt(cause)))
-        poke.succeed()
+        self.sim._defer(self._interrupt_deferred, cause, None)
 
     # -- internals ---------------------------------------------------------
 
     def _resume(self, trigger: Event) -> None:
-        if self.triggered:
+        # Mirror of _resume_core with the trigger unpacked inline; kept
+        # as a separate body so event callbacks pay one call, not two.
+        if self._value is not _PENDING or self._exception is not None:
             return  # interrupted to death while this wakeup was in flight
         self._waiting_on = None
         try:
-            if trigger._exception is not None:
-                target = self.gen.throw(trigger._exception)
+            exc = trigger._exception
+            if exc is not None:
+                target = self.gen.throw(exc)
             else:
-                target = self.gen.send(trigger._value if trigger._value is not _PENDING else None)
+                target = self._send(trigger._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
-        except BaseException as exc:  # noqa: BLE001 - process died; propagate via event
-            self.fail(exc)
+        except BaseException as err:  # noqa: BLE001 - process died; propagate via event
+            self.fail(err)
             return
-        self._wait_on(target)
+        if target.__class__ is _PooledTimeout and target.sim is self.sim:
+            self._waiting_on = target
+            target._waiter = self
+        elif isinstance(target, Event) and target.sim is self.sim:
+            self._waiting_on = target
+            callbacks = target.callbacks
+            if callbacks is not None:
+                callbacks.append(self._resume)
+            else:
+                sim = self.sim
+                sim._ready.append((sim._seq, self._resume_core, target._value, target._exception))
+                sim._seq += 1
+        else:
+            self._wait_on(target)
+
+    def _resume_core(self, value: Any, exc: BaseException | None) -> None:
+        """Advance the generator by one yielded event.
+
+        Entered with the ``(value, exc)`` protocol by the deferred-resume
+        ring and by pooled-timeout fires; event callbacks go through the
+        inlined twin :meth:`_resume`.  The common wait-on cases are
+        inlined below — a pooled timeout parks in its ``_waiter`` slot,
+        other same-sim events get the callback — and :meth:`_wait_on`
+        remains the slow path for yield errors.
+        """
+        if self._value is not _PENDING or self._exception is not None:
+            return  # interrupted to death while this wakeup was in flight
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                target = self.gen.throw(exc)
+            else:
+                # value is never _PENDING here: a failed trigger carries
+                # its exception and takes the throw branch above.
+                target = self._send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - process died; propagate via event
+            self.fail(err)
+            return
+        if target.__class__ is _PooledTimeout and target.sim is self.sim:
+            self._waiting_on = target
+            target._waiter = self
+        elif isinstance(target, Event) and target.sim is self.sim:
+            self._waiting_on = target
+            callbacks = target.callbacks
+            if callbacks is not None:
+                callbacks.append(self._resume)
+            else:
+                # Already processed: resume immediately (at the current
+                # time), carrying the event's outcome through the ring.
+                sim = self.sim
+                sim._ready.append((sim._seq, self._resume_core, target._value, target._exception))
+                sim._seq += 1
+        else:
+            self._wait_on(target)
+
+    def _interrupt_deferred(self, cause: object, _exc: BaseException | None) -> None:
+        self._throw(Interrupt(cause))
 
     def _throw(self, exc: BaseException) -> None:
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             return
         # Detach from whatever we were waiting on; its later trigger must
         # not resume us twice.
         waiting = self._waiting_on
         self._waiting_on = None
-        if waiting is not None and waiting.callbacks is not None:
-            try:
-                waiting.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        if waiting is not None:
+            if waiting.__class__ is _PooledTimeout and waiting._waiter is self:
+                waiting._waiter = None
+            elif waiting.callbacks is not None:
+                try:
+                    waiting.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
         try:
             target = self.gen.throw(exc)
         except StopIteration as stop:
@@ -215,18 +367,17 @@ class Process(Event):
             return
         self._waiting_on = target
         if target.callbacks is None:
-            # Already processed: resume immediately (at the current time).
-            poke = Event(self.sim)
-            poke._value = target._value
-            poke._exception = target._exception
-            poke.callbacks.append(self._resume)
-            self.sim._enqueue(poke)
+            # Already processed: resume immediately (at the current time),
+            # carrying the event's outcome through the ring.
+            self.sim._defer(self._resume_core, target._value, target._exception)
         else:
             target.callbacks.append(self._resume)
 
 
 class _Condition(Event):
     """Shared machinery for AnyOf/AllOf."""
+
+    __slots__ = ("events", "_pending")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
@@ -251,6 +402,8 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Triggers when the first of its events does (value: dict of done)."""
 
+    __slots__ = ()
+
     def _on_child(self, ev: Event) -> None:
         if self.triggered:
             return
@@ -262,6 +415,8 @@ class AnyOf(_Condition):
 
 class AllOf(_Condition):
     """Triggers when all of its events have (value: dict of all values)."""
+
+    __slots__ = ()
 
     def _on_child(self, ev: Event) -> None:
         if self.triggered:
@@ -275,16 +430,32 @@ class AllOf(_Condition):
 
 
 class Simulator:
-    """The event loop: a clock plus a priority queue of triggered events."""
+    """The event loop: a clock, a priority queue, and the deferred ring.
+
+    Two dispatch sources, serviced in exact ``(time, seq)`` order:
+
+    * ``_heap`` — triggered events and timeouts, ordered by
+      ``(time, sequence)``;
+    * ``_ready`` — the deferred-resume ring: immediate callbacks (process
+      bootstrap, interrupts, already-processed wakeups) recorded as
+      ``(seq, fn, value, exc)`` tuples.  Ring entries are always stamped
+      at the current time, so the ring is FIFO and an entry runs before
+      any heap event at a later time and interleaves by sequence number
+      with heap events at the same time — bit-identical ordering to the
+      throwaway bootstrap/poke ``Event`` objects it replaced, without the
+      allocation.
+    """
 
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Event]] = []
+        self._ready: deque[tuple[int, Callable, Any, BaseException | None]] = deque()
+        self._timeout_pool: list[_PooledTimeout] = []
         self._seq = 0
         self.events_processed = 0
         # Observability (repro.obs), off by default.  Instruments are
-        # resolved once at attach; step() pays a single None check when
-        # disabled — the kernel is the hottest loop in the repo.
+        # resolved once at attach; the dispatch loop pays a single None
+        # check when disabled — the kernel is the hottest loop in the repo.
         self._obs_events = None
         self._obs_heap = None
 
@@ -296,7 +467,8 @@ class Simulator:
         """Bind *obs* (a :class:`repro.obs.Observability`) to this kernel.
 
         The hub's clock becomes sim time and the kernel starts counting
-        processed events and sampling its event-heap depth.
+        processed events and sampling its event-heap depth (heap plus
+        ring, so the depth matches what a heap-only kernel reported).
         """
         obs.bind_clock(lambda: self._now)
         self._obs_events = obs.metrics.counter("sim_events_total")
@@ -310,6 +482,32 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
+    def sleep(self, delay: float, value: Any = None) -> Timeout:
+        """A pooled :class:`Timeout` for the ``yield sim.sleep(d)`` idiom.
+
+        Behaves exactly like :meth:`timeout`, but the returned object is
+        kernel-owned storage that is recycled right after its callbacks
+        run.  Use it when the timeout is yielded immediately and never
+        stored, compared, or combined (no ``AnyOf``/``AllOf`` children,
+        no keeping it across a resume) — the pattern of every
+        fire-and-forget delay on the hot path.  Owners that need the
+        object afterwards keep using :meth:`timeout`.
+        """
+        pool = self._timeout_pool
+        if not pool:
+            return _PooledTimeout(self, delay, value)
+        if delay < 0:
+            raise SimError(f"negative timeout {delay}")
+        t = pool.pop()
+        t.callbacks = t._cb_store
+        t._value = _PENDING
+        t._exception = None
+        t.delay = delay
+        t._pending_value = value
+        _heappush(self._heap, (self._now + delay, self._seq, t))
+        self._seq += 1
+        return t
+
     def process(self, gen: Generator, name: str | None = None) -> Process:
         return Process(self, gen, name)
 
@@ -319,39 +517,137 @@ class Simulator:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
-    # -- running -----------------------------------------------------------
+    # -- scheduling --------------------------------------------------------
 
     def _enqueue(self, event: Event, delay: float = 0.0) -> None:
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
         self._seq += 1
 
+    def _defer(self, fn: Callable, value: Any, exc: BaseException | None) -> None:
+        """Schedule ``fn(value, exc)`` at the current time, next sequence.
+
+        The ring equivalent of enqueueing an immediately-succeeded Event:
+        same position in the global (time, seq) order, no allocation
+        beyond the ring tuple itself.
+        """
+        self._ready.append((self._seq, fn, value, exc))
+        self._seq += 1
+
+    # -- running -----------------------------------------------------------
+
+    def _ring_first(self) -> bool:
+        """True when the ring head precedes the heap head in (time, seq)."""
+        if not self._ready:
+            return False
+        if not self._heap:
+            return True
+        top = self._heap[0]
+        return top[0] > self._now or top[1] > self._ready[0][0]
+
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
+        if self._ring_first():
+            seq, fn, value, exc = self._ready.popleft()
+            self.events_processed += 1
+            if self._obs_events is not None:
+                self._obs_events.inc()
+                self._obs_heap.value = len(self._heap) + len(self._ready)
+            fn(value, exc)
+            return
         when, _seq, event = heapq.heappop(self._heap)
         assert when >= self._now, "time went backwards"
         self._now = when
         self.events_processed += 1
         if self._obs_events is not None:
             self._obs_events.inc()
-            self._obs_heap.value = len(self._heap)
+            self._obs_heap.value = len(self._heap) + len(self._ready)
         event._fire()
+        if event.__class__ is _PooledTimeout:
+            self._timeout_pool.append(event)
 
     def run(self, until: float | None = None) -> None:
-        """Run until the heap drains or the clock passes *until*.
+        """Run until the queues drain or the clock passes *until*.
 
         With *until* given, the clock is left exactly at *until* (events
         scheduled later stay queued), which makes staged test scenarios
         ("run 5 simulated seconds, assert, run more") straightforward.
+
+        The loop body is a hand-inlined :meth:`step` with the heap ops,
+        queues and pool bound to locals — this is the hot loop the
+        ``benchmarks/perf`` kernel suite tracks, so it avoids repeated
+        attribute lookups and per-event method-call overhead.
         """
+        heap = self._heap
+        ready = self._ready
+        pool = self._timeout_pool
+        pop = _heappop
+        popleft = ready.popleft
+        # Observability instruments are bound before any run (attach is a
+        # setup-time call), so the loop hoists the None check to one load.
+        obs_events = self._obs_events
+        obs_heap = self._obs_heap
+        pooled = _PooledTimeout
+        processed = 0
         try:
-            while self._heap:
-                when = self._heap[0][0]
+            if until is None and obs_events is None:
+                # The common case — whole-workload runs without metrics —
+                # pays for nothing but dispatch itself.
+                while heap or ready:
+                    if ready and (
+                        not heap or heap[0][0] > self._now or heap[0][1] > ready[0][0]
+                    ):
+                        _seq, fn, value, exc = popleft()
+                        processed += 1
+                        fn(value, exc)
+                        continue
+                    when, _seq, event = pop(heap)
+                    self._now = when
+                    processed += 1
+                    if event.__class__ is pooled:
+                        # _PooledTimeout._fire + recycle, inlined.
+                        value = event._pending_value
+                        event._value = value
+                        callbacks = event.callbacks
+                        event.callbacks = None
+                        waiter = event._waiter
+                        if waiter is not None:
+                            event._waiter = None
+                            waiter._resume_core(value, None)
+                        if callbacks:
+                            for cb in callbacks:
+                                cb(event)
+                            callbacks.clear()
+                        event._cb_store = callbacks
+                        pool.append(event)
+                    else:
+                        event._fire()
+                return
+            while heap or ready:
+                if ready and (not heap or heap[0][0] > self._now or heap[0][1] > ready[0][0]):
+                    _seq, fn, value, exc = popleft()
+                    processed += 1
+                    if obs_events is not None:
+                        obs_events.inc()
+                        obs_heap.value = len(heap) + len(ready)
+                    fn(value, exc)
+                    continue
+                when = heap[0][0]
                 if until is not None and when > until:
                     self._now = until
                     return
-                self.step()
+                when, _seq, event = pop(heap)
+                self._now = when
+                processed += 1
+                if obs_events is not None:
+                    obs_events.inc()
+                    obs_heap.value = len(heap) + len(ready)
+                event._fire()
+                if event.__class__ is pooled:
+                    pool.append(event)  # _fire left it drained and detached
         except StopSimulation:
             return
+        finally:
+            self.events_processed += processed
         if until is not None and until > self._now:
             self._now = until
 
@@ -362,9 +658,11 @@ class Simulator:
         protocols in tests.
         """
         while not proc.triggered:
-            if not self._heap:
+            if not self._heap and not self._ready:
                 raise SimError(f"deadlock: {proc.name!r} waits but no events remain")
-            if limit is not None and self._heap[0][0] > limit:
-                raise SimError(f"time limit {limit} exceeded waiting for {proc.name!r}")
+            if limit is not None:
+                next_time = self._now if self._ready else self._heap[0][0]
+                if next_time > limit:
+                    raise SimError(f"time limit {limit} exceeded waiting for {proc.name!r}")
             self.step()
         return proc.value

@@ -175,7 +175,7 @@ class Network:
         delay = self.latency_model(src, dst).sample(self.rng)
 
         def deliver():
-            yield self.sim.timeout(delay)
+            yield self.sim.sleep(delay)
             if not target.alive or self.partitioned(src, dst):
                 self.stats.dropped_dead += not target.alive
                 self.stats.dropped_partition += target.alive

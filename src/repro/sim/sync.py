@@ -15,8 +15,11 @@ from collections import deque
 from typing import Any
 
 from repro.sim.kernel import Event, Simulator
+from repro.sim.kernel import _heappush, _PENDING  # hot-path handoff (see Store)
 
 __all__ = ["Store", "Resource"]
+
+_new_event = Event.__new__
 
 
 class Store:
@@ -35,21 +38,40 @@ class Store:
         return len(self._items)
 
     def put(self, item: Any) -> None:
-        """Deposit *item*; wakes the oldest waiting getter, if any."""
-        while self._getters:
-            getter = self._getters.popleft()
-            if getter.triggered:
+        """Deposit *item*; wakes the oldest waiting getter, if any.
+
+        This is the cmsd-inbox hot path (one put per protocol message), so
+        the wakeup inlines ``Event.succeed`` on the getter we just proved
+        pending rather than re-checking through the public method.
+        """
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
+            if getter._value is not _PENDING or getter._exception is not None:
                 continue  # getter was interrupted/abandoned
-            getter.succeed(item)
+            getter._value = item
+            sim = getter.sim
+            _heappush(sim._heap, (sim._now, sim._seq, getter))
+            sim._seq += 1
             return
         self._items.append(item)
 
     def get(self) -> Event:
         """Event yielding the next item (immediately if one is queued)."""
-        ev = Event(self.sim)
-        if self._items:
-            ev.succeed(self._items.popleft())
+        # Event(...) flattened (one get per consumed message): skip the
+        # class-call/__init__ round trip for a plain slot fill.
+        ev = _new_event(Event)
+        ev.callbacks = []
+        ev._exception = None
+        sim = ev.sim = self.sim
+        items = self._items
+        if items:
+            # Inlined ev.succeed(...): the event is fresh, provably pending.
+            ev._value = items.popleft()
+            _heappush(sim._heap, (sim._now, sim._seq, ev))
+            sim._seq += 1
         else:
+            ev._value = _PENDING
             self._getters.append(ev)
         return ev
 

@@ -71,7 +71,7 @@ def run_job(client: ScallaClient, spec: JobSpec, *, rng: random.Random | None = 
             continue
         result.stat_latencies.append(sim.now - t0)
         if spec.think_time:
-            yield sim.timeout(spec.think_time)
+            yield sim.sleep(spec.think_time)
 
     # Phase 2+3: open and read each file.
     for path in spec.files:

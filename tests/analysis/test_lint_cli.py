@@ -21,14 +21,15 @@ class TestMain:
         out = capsys.readouterr()
         assert "SIM002" in out.out
         assert "SCA002" in out.out
-        assert "2 violation(s)" in out.err
+        assert "SCA003" in out.out
+        assert "3 violation(s)" in out.err
 
     def test_fixture_json_output(self, capsys):
         assert main(["--format", "json", str(FIXTURE)]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["tool"] == "scalla-lint"
         assert payload["files_checked"] == 1
-        assert {v["rule"] for v in payload["violations"]} == {"SIM002", "SCA002"}
+        assert {v["rule"] for v in payload["violations"]} == {"SIM002", "SCA002", "SCA003"}
         for v in payload["violations"]:
             assert v["line"] > 0 and v["message"]
 
@@ -52,7 +53,7 @@ class TestMain:
     def test_list_rules_catalogue(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("SIM001", "SIM002", "SIM003", "SIM004", "SCA001", "SCA002"):
+        for rule_id in ("SIM001", "SIM002", "SIM003", "SIM004", "SCA001", "SCA002", "SCA003"):
             assert rule_id in out
 
     def test_directory_walk_skips_fixture(self, capsys):

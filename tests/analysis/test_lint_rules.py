@@ -215,6 +215,82 @@ class TestSca002FibonacciSizes:
         assert rule_ids(src) == []
 
 
+class TestSca003NoDispatchAllocation:
+    def test_event_in_step(self):
+        src = """
+        class Simulator:
+            def step(self):
+                poke = Event(self)
+                poke.succeed()
+        """
+        assert "SCA003" in rule_ids(src)
+
+    def test_timeout_in_run(self):
+        src = """
+        class Simulator:
+            def run(self, until=None):
+                guard = Timeout(self, 0.0)
+                return guard
+        """
+        assert "SCA003" in rule_ids(src)
+
+    def test_attribute_call_flagged(self):
+        src = """
+        import repro.sim.kernel as kernel
+
+        class Simulator:
+            def step(self):
+                kernel.Event(self)
+        """
+        assert "SCA003" in rule_ids(src)
+
+    def test_other_methods_are_clean(self):
+        # Allocation in the public API (sleep/process) is fine — only the
+        # per-event dispatch path is restricted.
+        src = """
+        class Simulator:
+            def sleep(self, delay):
+                return Timeout(self, delay)
+
+            def process(self, gen):
+                return Process(self, gen)
+        """
+        assert rule_ids(src) == []
+
+    def test_other_classes_are_clean(self):
+        src = """
+        class Network:
+            def step(self):
+                return Event(self.sim)
+        """
+        assert rule_ids(src) == []
+
+    def test_non_event_calls_in_step_are_clean(self):
+        src = """
+        class Simulator:
+            def step(self):
+                self._ready.append((self._seq, fn, None, None))
+                heappush(self._heap, item)
+        """
+        assert rule_ids(src) == []
+
+    def test_applies_in_tests_too(self):
+        src = """
+        class Simulator:
+            def step(self):
+                Event(self)
+        """
+        assert "SCA003" in rule_ids(src, path="tests/sim/t.py")
+
+    def test_suppressed(self):
+        src = """
+        class Simulator:
+            def step(self):
+                poke = Event(self)  # scalla-lint: disable=SCA003
+        """
+        assert rule_ids(src) == []
+
+
 class TestSuppressionMachinery:
     def test_disable_file(self):
         src = "# scalla-lint: disable-file=SIM002\nimport random\nx = random.random()\n"
