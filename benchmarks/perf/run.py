@@ -24,7 +24,7 @@ sys.path.insert(0, str(_HERE.parent))  # benchmarks/: the perf package + reporti
 sys.path.insert(0, str(_HERE.parent.parent / "src"))  # src/: repro
 
 from perf import QUICK, calibrate  # noqa: E402
-from perf import perf_cache, perf_e2e, perf_kernel  # noqa: E402
+from perf import perf_cache, perf_e2e, perf_kernel, perf_wan  # noqa: E402
 from reporting import record_bench  # noqa: E402
 
 
@@ -38,7 +38,10 @@ def run_all(*, quick: bool = False) -> dict:
             **perf_kernel.run_suite(scale=scale, repeats=repeats),
             **perf_e2e.run_suite(scale=scale, repeats=repeats),
         },
-        "cache": perf_cache.run_suite(scale=scale, repeats=repeats),
+        "cache": {
+            **perf_cache.run_suite(scale=scale, repeats=repeats),
+            **perf_wan.run_suite(scale=scale, repeats=repeats),
+        },
     }
 
 

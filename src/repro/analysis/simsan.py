@@ -21,7 +21,8 @@ stamps, no object snapshot from the future), and response-queue anchor
 accounting (free/active partition the anchor array, every in-use anchor is
 reachable from the expiry timeline with a matching stamp — an unreachable
 anchor would never expire, the exact leak the 133 ms clock exists to
-prevent — and carries at least one waiter).
+prevent — and carries at least one waiter), plus late-response parking
+accounting (no empty or already-released entries in the parked registry).
 
 Sweeps are pure reads: no RNG, no events, no mutation.  Turning SimSan on
 changes *nothing* about a run except wall-clock cost, so a sanitized run
@@ -249,6 +250,30 @@ class Sanitizer:
                     node=self.node,
                     anchor=a.index,
                 )
+        # Late-response parking: registry entries must hold waiters (empty
+        # lists are deleted eagerly, a survivor means a purge bug) and a
+        # parked waiter must still be awaiting its answer (server filled in
+        # means on_late_response released it but left it parked — it could
+        # be released a second time by the next late response).
+        for (key, generation), entry in rq._parked.items():
+            if not entry:
+                raise AnchorLeakViolation(
+                    "parked registry holds an empty waiter list",
+                    invariant="parked-nonempty",
+                    node=self.node,
+                    path=key,
+                    generation=generation,
+                )
+            for _purge_at, w in entry:
+                if w.server != -1:
+                    raise AnchorLeakViolation(
+                        "released waiter still sits in the parked registry",
+                        invariant="parked-unreleased",
+                        node=self.node,
+                        path=key,
+                        generation=generation,
+                        server=w.server,
+                    )
 
     # -- internals --------------------------------------------------------
 

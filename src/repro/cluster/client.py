@@ -62,6 +62,11 @@ class ClientConfig:
     locate_timeout: float = 2.0
     #: Data-plane response timeout (server death detection).
     op_timeout: float = 2.0
+    #: Open timeout when the target is still staging the file from an MSS.
+    #: Staging legitimately takes minutes — but it must stay *finite*: a
+    #: server crashing mid-stage would otherwise strand the client on the
+    #: old 1e6 s sentinel instead of entering the recovery loop.
+    pending_open_timeout: float = 300.0
     #: Redirect-hop budget per open (tree depth is <= 4 in practice).
     max_hops: int = 16
     #: Wait/retry budget per open.
@@ -201,23 +206,30 @@ class ScallaClient:
         redirects = waits = 0
         timeouts = 0
         retries = 0
+        #: A verdict that arrived *during* a watched Wait (late-response
+        #: reconciliation) — processed on the next loop pass in place of a
+        #: fresh Locate.
+        early_resp = None
         while True:
-            msg = pr.Locate(
-                req_id=self._req_id(),
-                reply_to=self.host.name,
-                path=path,
-                mode=mode,
-                create=create,
-                refresh=refresh and at_manager,
-                avoid=tuple(avoid),
-                client_site=self.network.site_of(self.host.name) or "",
-            )
-            self.stats.locates += 1
-            # A refresh is a one-shot directive: re-sending it on every
-            # Wait-retry would reset the query deadline each time and spin
-            # forever on a genuinely deleted file.
-            refresh = False
-            resp = yield from self._request(contact, msg, self.config.locate_timeout)
+            if early_resp is not None:
+                resp, early_resp = early_resp, None
+            else:
+                msg = pr.Locate(
+                    req_id=self._req_id(),
+                    reply_to=self.host.name,
+                    path=path,
+                    mode=mode,
+                    create=create,
+                    refresh=refresh and at_manager,
+                    avoid=tuple(avoid),
+                    client_site=self.network.site_of(self.host.name) or "",
+                )
+                self.stats.locates += 1
+                # A refresh is a one-shot directive: re-sending it on every
+                # Wait-retry would reset the query deadline each time and spin
+                # forever on a genuinely deleted file.
+                refresh = False
+                resp = yield from self._request(contact, msg, self.config.locate_timeout)
             if resp is None:
                 timeouts += 1
                 if timeouts > self.config.max_failover_cycles * len(self.managers):
@@ -258,7 +270,23 @@ class ScallaClient:
                 retries += 1
                 if retries > self.config.max_retries:
                     raise ScallaError(f"retry budget exhausted for {path!r}")
-                yield self.sim.sleep(resp.delay)
+                if resp.watch:
+                    # The sender parked our request for late-response
+                    # reconciliation: keep the req_id registered so an
+                    # unsolicited Redirect can cut the wait short.
+                    ev = self.sim.event()
+                    self._pending[msg.req_id] = ev
+                    yield self.sim.any_of([ev, self.sim.timeout(resp.delay)])
+                    if ev.triggered and isinstance(ev.value, (pr.Redirect, pr.NotFound)):
+                        if trace is not None:
+                            trace.event(
+                                "client.late_release", self._obs.now(), node=self.name
+                            )
+                        early_resp = ev.value
+                    else:
+                        self._pending.pop(msg.req_id, None)
+                else:
+                    yield self.sim.sleep(resp.delay)
                 continue
             if isinstance(resp, pr.NotFound):
                 if at_manager:
@@ -310,6 +338,11 @@ class ScallaClient:
                 )
             if isinstance(resp, pr.OpenFail) and resp.reason == "exists":
                 raise FileExists(path)
+            if resp is None:
+                # Open timed out — the server (possibly mid-stage) is gone.
+                # Rotate managers before re-locating: the redirect that sent
+                # us here may reflect a manager's stale view of that host.
+                self._failover()
             # ENOENT, bad handle, or server death: general recovery — ask
             # for a cache refresh and avoid the failing host.
             self.stats.refreshes += 1
@@ -319,8 +352,11 @@ class ScallaClient:
         raise ScallaError(f"open retry budget exhausted for {path!r}")
 
     def _open_timeout(self, pending: bool) -> float:
-        # A pending (staging) open legitimately takes minutes: wait long.
-        return 1e6 if pending else self.config.op_timeout
+        # A pending (staging) open legitimately takes minutes: wait longer
+        # than the data-plane timeout, but never forever — the bounded wait
+        # is what lets the §III-C1 recovery loop engage when the staging
+        # server dies underneath us.
+        return self.config.pending_open_timeout if pending else self.config.op_timeout
 
     # -- data-plane convenience -----------------------------------------------------
 

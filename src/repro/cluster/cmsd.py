@@ -90,6 +90,31 @@ class CmsdConfig:
     #: site (WAN federations, §IV-A); falls back to the full candidate set
     #: when no local replica exists.
     locality_aware: bool = False
+    #: EXTENSION (WAN federations): adaptive fast-response window sizing.
+    #: When True, each new response-queue anchor's deadline is
+    #: ``max(fast_period, window_rtt_mult x slowest expected responder's
+    #: EWMA RTT)`` instead of the flat ``fast_period``; on a LAN the RTT
+    #: term stays far below 133 ms, so the paper's default is preserved
+    #: bit-for-bit.  Also arms the bounded re-query (see requery_limit).
+    adaptive_window: bool = False
+    #: k in the adaptive window formula.
+    window_rtt_mult: float = 3.0
+    #: EWMA smoothing factor for per-peer RTT estimates (fed from login /
+    #: heartbeat arrival latencies and observed query-response latencies).
+    rtt_alpha: float = 0.25
+    #: Bounded re-query (adaptive mode only): on window expiry with the
+    #: epoch deadline still active, re-flood the still-silent subset up to
+    #: this many times — each round's window scaled by requery_backoff and
+    #: capped at the epoch remainder — before the full-delay fallback.
+    requery_limit: int = 1
+    #: Window growth factor per re-query round.
+    requery_backoff: float = 2.0
+    #: Late-response reconciliation: a HaveFile arriving after its anchor
+    #: expired still updates V_h *and* releases clients parked on the full
+    #: 5 s delay (they are told to keep listening via ``Wait.watch``).
+    #: False restores the seed behaviour where late answers help nobody —
+    #: the ablation bench E6-wan's "before" row.
+    late_release: bool = True
     #: SimSan (repro.analysis.simsan): when True, manager/supervisor cmsds
     #: sweep their cache/queue/membership invariants after every eviction
     #: tick, response-processing batch, and expiry pass.  Sweeps are pure
@@ -107,6 +132,14 @@ class CmsdStats:
     haves_sent: int = 0
     haves_received: int = 0
     fast_released: int = 0
+    #: Clients released by a response that arrived *after* its window
+    #: expired (late-response reconciliation).
+    late_released: int = 0
+    #: Bounded re-query rounds issued on window expiry (adaptive mode).
+    requeries: int = 0
+    #: add_waiter rejections (anchor exhaustion): each one parked a client
+    #: on the full conservative delay — visible anchor pressure, not noise.
+    rq_rejected: int = 0
     logins_handled: int = 0
     relogins_sent: int = 0
     prepares: int = 0
@@ -196,6 +229,7 @@ class Cmsd:
             self._m_queries = m.counter("cmsd_queries_sent_total", node=name)
             self._m_haves_rx = m.counter("cmsd_haves_received_total", node=name)
             self._m_fast_released = m.counter("cmsd_fast_released_total", node=name)
+            self._m_requeries = m.counter("rq_requeries_total", node=name)
 
         if node_id.role is not Role.SERVER:
             self.membership = ClusterMembership(obs=obs, node=node_id.name)
@@ -205,6 +239,7 @@ class Cmsd:
             self.rq = ResponseQueue(
                 anchors=self.config.anchors,
                 period=self.config.fast_period,
+                park_ttl=self.config.full_delay if self.config.late_release else 0.0,
                 obs=obs,
                 node=node_id.name,
             )
@@ -225,6 +260,10 @@ class Cmsd:
         self._rq_wake = None
         self._last_parent_ack: dict[str, float] = {}
         self._query_serial = 0
+        #: Per-child EWMA round-trip estimate (seconds), fed from the
+        #: observed one-way delivery delay of logins/heartbeats/responses
+        #: and from query-response latencies.  Sizes adaptive windows.
+        self._peer_rtt: dict[str, float] = {}
 
         if node_id.role is Role.SERVER and xrootd is not None:
             # The "newfile" advisory hook: without it, a manager whose cache
@@ -299,10 +338,13 @@ class Cmsd:
     # -- parent-side background processes ----------------------------------------
 
     def _response_clock(self):
-        """The fast-response 'thread': expire anchors past 133 ms.
+        """The fast-response 'thread': expire anchors past their window.
 
-        Expired client waiters are told to wait a full period and retry;
-        expired parent waiters get nothing (non-response = negative).
+        An expired client waiter is, in order of preference: ridden through
+        a bounded re-query round (adaptive mode, epoch still active), or
+        told to wait the full delay — watched, so a late response can still
+        turn into a redirect (late-response reconciliation).  Expired
+        parent waiters get nothing (non-response = negative).
         """
         try:
             while True:
@@ -322,16 +364,84 @@ class Cmsd:
                 for waiter in expired:
                     payload = waiter.payload
                     if isinstance(payload, _ClientWaiter):
+                        if self._try_requery(waiter, payload):
+                            continue
                         self._close_wait_span(payload.span, outcome="timeout")
                         self._send(
                             payload.reply_to,
-                            pr.Wait(payload.req_id, payload.path, self.config.full_delay),
+                            pr.Wait(
+                                payload.req_id,
+                                payload.path,
+                                self.config.full_delay,
+                                watch=self.config.late_release,
+                            ),
                         )
                         self.stats.waits_sent += 1
                         if self._obs is not None:
                             self._m_waits.inc()
         except Interrupt:
             return
+
+    def _try_requery(self, waiter, payload: "_ClientWaiter") -> bool:
+        """Give an expired waiter one more fast-response round, maybe.
+
+        Returns True when the waiter was re-queued (joining a re-query
+        round already armed by an earlier waiter of the same batch, or
+        arming a fresh one: re-flood the still-silent online subset and
+        open a backoff-scaled window capped at the epoch remainder).
+        False condemns it to the full conservative delay.
+        """
+        cfg = self.config
+        if not cfg.adaptive_window or cfg.requery_limit <= 0:
+            return False
+        now = self.sim.now
+        ref, _ = self.cache.lookup(payload.path, now, add=False)
+        if ref is None:
+            return False
+        obj = ref.get()
+        if not self.deadline.active(obj, now):
+            return False
+        if not self.rq.has_anchor(obj, waiter.mode):
+            # First expired waiter of this batch decides; co-waiters join.
+            if obj.rq_retries >= cfg.requery_limit:
+                return False
+            obj.rq_retries += 1
+            silent = (
+                self.membership.eligible(payload.path)
+                & self.membership.v_online
+                & ~(obj.v_h | obj.v_p)
+                & bitvec.FULL_MASK
+            )
+            if silent:
+                obj.v_q |= silent
+                self._flood_queries(obj, payload.path, ref.hash_val, waiter.mode)
+            self.stats.requeries += 1
+            if self._obs is not None:
+                self._m_requeries.inc()
+                self._obs.tracer.event(
+                    payload.path,
+                    "rq.requery",
+                    node=self.node_id.name,
+                    round=obj.rq_retries,
+                    fanout=bitvec.count(silent),
+                )
+        base = self._fast_window() or cfg.fast_period
+        window = min(
+            base * (cfg.requery_backoff**obj.rq_retries),
+            self.deadline.remaining(obj, now),
+        )
+        outcome = self.rq.add_waiter(obj, waiter.mode, payload, now, window=window)
+        if outcome.accepted:
+            # The expiry pass already parked this waiter; withdraw that copy
+            # or the late answer would release the client twice.
+            self.rq.unpark(obj, waiter)
+            if outcome.queue_was_empty:
+                self._wake_response_clock()
+        if not outcome.accepted:
+            self.stats.rq_rejected += 1
+            if self._obs is not None:
+                self._obs.tracer.event(payload.path, "rq.rejected", node=self.node_id.name)
+        return outcome.accepted
 
     def _wake_response_clock(self) -> None:
         if self._rq_wake is not None and not self._rq_wake.triggered:
@@ -383,23 +493,23 @@ class Cmsd:
             while True:
                 env = yield self.host.inbox.get()
                 yield self.sim.sleep(self.config.service_time.sample(self.rng))
-                self._dispatch(env.payload, env.src)
+                self._dispatch(env.payload, env.src, env.sent_at)
         except Interrupt:
             return
 
-    def _dispatch(self, msg: object, src: str) -> None:
+    def _dispatch(self, msg: object, src: str, sent_at: float = 0.0) -> None:
         role = self.node_id.role
         if isinstance(msg, pr.Heartbeat) and role is not Role.SERVER:
-            self._on_heartbeat(msg, src)
+            self._on_heartbeat(msg, src, sent_at)
         elif isinstance(msg, pr.Login) and role is not Role.SERVER:
-            self._on_login(msg, src)
+            self._on_login(msg, src, sent_at)
         elif isinstance(msg, pr.QueryFile):
             if role is Role.SERVER:
                 self._on_query_server(msg, src)
             else:
                 self._on_query_supervisor(msg, src)
         elif isinstance(msg, pr.HaveFile) and role is not Role.SERVER:
-            self._on_have(msg)
+            self._on_have(msg, sent_at)
         elif isinstance(msg, pr.Locate) and role is not Role.SERVER:
             self._on_locate(msg)
         elif isinstance(msg, pr.Prepare) and role is not Role.SERVER:
@@ -408,9 +518,45 @@ class Cmsd:
             self._on_heartbeat_ack(msg, src)
         # Anything else: drop (e.g. QueryFile racing a role change).
 
+    # -- per-peer RTT estimation (adaptive window sizing) ---------------------------
+
+    def _observe_peer(self, node: str, rtt: float) -> None:
+        """Fold one round-trip observation into *node*'s EWMA estimate.
+
+        Sim time is globally consistent, so any child message stamps its
+        own one-way delivery delay (``now - sent_at``, inbox queueing and
+        our service time included — exactly the delays a response must
+        survive); doubled, that is a conservative RTT sample.
+        """
+        prev = self._peer_rtt.get(node)
+        if prev is None:
+            self._peer_rtt[node] = rtt
+        else:
+            self._peer_rtt[node] = prev + self.config.rtt_alpha * (rtt - prev)
+
+    def _fast_window(self) -> float | None:
+        """Adaptive anchor window, or None for the flat configured period.
+
+        ``max(fast_period, k x slowest expected responder RTT)``: the
+        window must outlive a query round trip to the slowest site that
+        might answer, and never undercuts the paper's default.
+        """
+        if not self.config.adaptive_window:
+            return None
+        slowest = 0.0
+        for slot in bitvec.iter_bits(self.membership.v_online):
+            name = self.membership.server_name(slot)
+            if name is None:
+                continue
+            rtt = self._peer_rtt.get(name)
+            if rtt is not None and rtt > slowest:
+                slowest = rtt
+        return max(self.config.fast_period, self.config.window_rtt_mult * slowest)
+
     # -- membership handling -----------------------------------------------------
 
-    def _on_login(self, msg: pr.Login, src: str) -> None:
+    def _on_login(self, msg: pr.Login, src: str, sent_at: float = 0.0) -> None:
+        self._observe_peer(msg.node, 2.0 * (self.sim.now - sent_at))
         slot = self.membership.login(msg.node, msg.paths)
         self.children[msg.node] = ChildInfo(
             name=msg.node, role=Role(msg.role), last_seen=self.sim.now
@@ -419,7 +565,8 @@ class Cmsd:
         self.stats.logins_handled += 1
         self._send(src, pr.LoginAck(slot))
 
-    def _on_heartbeat(self, msg: pr.Heartbeat, src: str) -> None:
+    def _on_heartbeat(self, msg: pr.Heartbeat, src: str, sent_at: float = 0.0) -> None:
+        self._observe_peer(msg.node, 2.0 * (self.sim.now - sent_at))
         info = self.children.get(msg.node)
         slot = self.membership.slot_of(msg.node)
         if info is None or slot is None:
@@ -513,10 +660,18 @@ class Cmsd:
             self._obs.tracer.event(path, "query.flood", node=self.node_id.name, fanout=fanout)
         obj.v_q &= ~targets & bitvec.FULL_MASK
 
-    def _enqueue_waiter(self, obj, mode: str, payload) -> bool:
-        outcome = self.rq.add_waiter(obj, mode, payload, self.sim.now)
+    def _enqueue_waiter(self, obj, mode: str, payload, path: str = "") -> bool:
+        outcome = self.rq.add_waiter(
+            obj, mode, payload, self.sim.now, window=self._fast_window()
+        )
         if outcome.accepted and outcome.queue_was_empty:
             self._wake_response_clock()
+        if not outcome.accepted:
+            # Anchor exhaustion: this client just got condemned to the full
+            # conservative delay.  Make the pressure visible.
+            self.stats.rq_rejected += 1
+            if self._obs is not None and path:
+                self._obs.tracer.event(path, "rq.rejected", node=self.node_id.name)
         return outcome.accepted
 
     def _candidates(
@@ -640,7 +795,7 @@ class Cmsd:
             payload = _ClientWaiter(
                 msg.reply_to, msg.req_id, msg.path, msg.create, span=self._open_wait_span(msg.path)
             )
-            if not self._enqueue_waiter(obj, mode, payload):
+            if not self._enqueue_waiter(obj, mode, payload, msg.path):
                 self._close_wait_span(payload.span, outcome="rejected")
                 self._send_wait(msg)
                 return "wait-full-rejected"
@@ -730,7 +885,7 @@ class Cmsd:
             self._flood_queries(obj, msg.path, msg.hash_val, msg.mode)
         if self.deadline.active(obj, now):
             payload = _ParentWaiter(parent_host=src, path=msg.path, hash_val=msg.hash_val)
-            self._enqueue_waiter(obj, AccessMode.READ, payload)
+            self._enqueue_waiter(obj, AccessMode.READ, payload, msg.path)
         # Deadline passed and empty: stay silent — that IS the answer.
 
     def _send_have_up(self, parent_host: str, path: str, hash_val: int, *, pending: bool) -> None:
@@ -746,29 +901,42 @@ class Cmsd:
         )
         self.stats.haves_sent += 1
 
-    def _on_have(self, msg: pr.HaveFile) -> None:
+    def _on_have(self, msg: pr.HaveFile, sent_at: float = 0.0) -> None:
         """A subordinate reported holding the file: update cache, release
-        every waiter the fast response queue holds for it (§III-B1)."""
+        every waiter the fast response queue holds for it (§III-B1) — and
+        every waiter *parked* after its window expired (late-response
+        reconciliation): a slow-link answer beats the full delay instead of
+        evaporating."""
+        now = self.sim.now
         self.stats.haves_received += 1
         if self._obs is not None:
             self._m_haves_rx.inc()
             self._obs.tracer.event(
                 msg.path, "have.received", node=self.node_id.name, holder=msg.node
             )
+        self._observe_peer(msg.node, 2.0 * (now - sent_at))
         slot = self.membership.slot_of(msg.node)
         if slot is None:
             return  # responder was dropped while the answer was in flight
-        prior_ref, _ = self.cache.lookup(msg.path, self.sim.now, add=False)
+        prior_ref, _ = self.cache.lookup(msg.path, now, add=False)
         prior_known = prior_ref is not None and (
             prior_ref.get().v_h | prior_ref.get().v_p
         ) != 0
         obj = self.cache.update_holder(msg.path, msg.hash_val, slot, pending=msg.pending)
+        if obj is not None and self.deadline.active(obj, now):
+            # Full query->response latency (epoch arm to answer arrival) is
+            # a direct RTT sample for the responder — the very delay an
+            # adaptive window must cover.
+            self._observe_peer(msg.node, now - (obj.deadline - self.deadline.full_delay))
         released = (
             []
             if obj is None
-            else self.rq.on_response(
-                obj, slot, write_capable=msg.write_capable, now=self.sim.now
-            )
+            else self.rq.on_response(obj, slot, write_capable=msg.write_capable, now=now)
+        )
+        late = (
+            []
+            if obj is None
+            else self.rq.on_late_response(obj, slot, write_capable=msg.write_capable, now=now)
         )
         if self.sanitizer is not None:
             # Mutation batch just completed: vectors changed and (possibly)
@@ -777,7 +945,9 @@ class Cmsd:
                 self.sanitizer.check_object(obj)
             self.sanitizer.check_queue(self.rq)
         answered_parents = {
-            w.payload.parent_host for w in released if isinstance(w.payload, _ParentWaiter)
+            w.payload.parent_host
+            for w in released + late
+            if isinstance(w.payload, _ParentWaiter)
         }
         # Forward one compressed advisory to parents not already answered via
         # the response queue — but only when this response is *news* (we had
@@ -788,15 +958,25 @@ class Cmsd:
                 phost = cmsd_host(parent)
                 if phost not in answered_parents:
                     self._send_have_up(phost, msg.path, msg.hash_val, pending=msg.pending)
-        if obj is None or not released:
+        if obj is None or not (released or late):
             return
         self.stats.fast_released += len(released)
+        self.stats.late_released += len(late)
         if self._obs is not None:
-            self._m_fast_released.inc(len(released))
+            if released:
+                self._m_fast_released.inc(len(released))
+            if late:
+                self._obs.tracer.event(
+                    msg.path,
+                    "rq.late_release",
+                    node=self.node_id.name,
+                    holder=msg.node,
+                    waiters=len(late),
+                )
         name = self.membership.server_name(slot)
         info = self.children.get(name)
         role = info.role.value if info is not None else Role.SERVER.value
-        for waiter in released:
+        for waiter in released + late:
             payload = waiter.payload
             if isinstance(payload, _ClientWaiter):
                 self._close_wait_span(payload.span, outcome="released")

@@ -155,11 +155,20 @@ class Redirect:
 
 @dataclass(frozen=True)
 class Wait:
-    """Back off *delay* seconds and reissue the request."""
+    """Back off *delay* seconds and reissue the request.
+
+    ``watch`` True means the sender parked this request for late-response
+    reconciliation: a server answer landing after the fast-response window
+    closed (slow WAN links, stragglers) may still turn into an unsolicited
+    :class:`Redirect` under the *same* ``req_id``, so the client should
+    keep listening while it waits instead of sleeping blind.  False is the
+    paper's plain back-off (ablations, anchor exhaustion).
+    """
 
     req_id: int
     path: str
     delay: float
+    watch: bool = False
 
 
 @dataclass(frozen=True)

@@ -86,6 +86,17 @@ class ScallaConfig:
     deadline_sync: bool = True
     #: Extension: prefer same-site replicas when redirecting (see CmsdConfig).
     locality_aware: bool = False
+    #: Extension (WAN federations): adaptive fast-response window sizing +
+    #: bounded re-query; see CmsdConfig.adaptive_window.
+    adaptive_window: bool = False
+    window_rtt_mult: float = 3.0
+    rtt_alpha: float = 0.25
+    requery_limit: int = 1
+    requery_backoff: float = 2.0
+    #: Late-response reconciliation (see CmsdConfig.late_release).  False
+    #: restores the seed behaviour where an answer arriving after the
+    #: fast-response window helps nobody — kept as the E6-wan "before" row.
+    late_release: bool = True
     #: Observability (repro.obs): when True the cluster carries one shared
     #: :class:`~repro.obs.Observability` hub — metrics on every daemon's
     #: hot path plus per-request resolution traces, all stamped with sim
@@ -112,6 +123,12 @@ class ScallaConfig:
             fast_response=self.fast_response,
             deadline_sync=self.deadline_sync,
             locality_aware=self.locality_aware,
+            adaptive_window=self.adaptive_window,
+            window_rtt_mult=self.window_rtt_mult,
+            rtt_alpha=self.rtt_alpha,
+            requery_limit=self.requery_limit,
+            requery_backoff=self.requery_backoff,
+            late_release=self.late_release,
             sanitize=self.sanitize and role is not Role.SERVER,
         )
 

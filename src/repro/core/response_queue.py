@@ -17,6 +17,21 @@ queue (§III-B) closes that gap:
   clients fall back to the full 5 s wait-and-retry.  A server response
   arriving within the period releases all waiting clients immediately.
 
+Two extensions beyond the paper's fixed LAN-scoped window (both preserve
+the paper's behaviour exactly when unused):
+
+* **Per-anchor windows** — :meth:`ResponseQueue.add_waiter` accepts an
+  optional ``window`` so the host can size each anchor's deadline to the
+  slowest expected responder (WAN federations, §IV-A).  Anchors default to
+  the global 133 ms period, and the expiry timeline is a heap because
+  per-anchor windows break the FIFO ordering a deque assumed.
+* **Late-response reconciliation** — waiters expired into the full
+  conservative delay are *parked* (per location key + generation) for up
+  to ``park_ttl`` seconds.  A response arriving after the window closed —
+  exactly what an 80 ms WAN hop produces against a 133 ms window — reaches
+  them through :meth:`on_late_response` instead of evaporating, so the
+  host can release clients otherwise condemned to sit out the full 5 s.
+
 This module is thread-free and clock-agnostic like the rest of
 :mod:`repro.core`: the host calls :meth:`ResponseQueue.expire` from whatever
 plays the role of the response thread (a sim process in the cluster layer).
@@ -24,7 +39,7 @@ plays the role of the response thread (a sim process in the cluster layer).
 
 from __future__ import annotations
 
-from collections import deque
+import heapq
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -37,6 +52,7 @@ __all__ = [
     "ResponseQueue",
     "DEFAULT_ANCHORS",
     "DEFAULT_PERIOD",
+    "DEFAULT_PARK_TTL",
 ]
 
 #: Number of anchors in the response queue (paper: 1024).
@@ -44,6 +60,10 @@ DEFAULT_ANCHORS = 1024
 
 #: Fast-response clocking period in seconds (paper: 133 ms).
 DEFAULT_PERIOD = 0.133
+
+#: How long expired waiters stay parked for late-response release.  The
+#: paper's full delay: past that the client has retried anyway.
+DEFAULT_PARK_TTL = 5.0
 
 
 class AccessMode:
@@ -93,6 +113,7 @@ class _Anchor:
     loc_generation: int = -1
     mode: str = AccessMode.READ
     oldest: float = 0.0
+    expiry: float = 0.0
     waiters: list[Waiter] = field(default_factory=list)
 
     def reclaim(self) -> list[Waiter]:
@@ -113,6 +134,7 @@ class ResponseQueue:
         anchors: int = DEFAULT_ANCHORS,
         period: float = DEFAULT_PERIOD,
         *,
+        park_ttl: float = DEFAULT_PARK_TTL,
         obs=None,
         node: str = "",
     ) -> None:
@@ -120,14 +142,22 @@ class ResponseQueue:
             raise ValueError("need at least one anchor")
         self._anchors = [_Anchor(index=i) for i in range(anchors)]
         self._free: list[int] = list(range(anchors - 1, -1, -1))
-        #: (expiry check order) entries: (enqueued_at, anchor index, stamp).
-        self._timeline: deque[tuple[float, int, int]] = deque()
+        #: Expiry heap: (absolute expiry time, anchor index, stamp).  A heap
+        #: (not a deque) because per-anchor windows expire out of FIFO order.
+        self._timeline: list[tuple[float, int, int]] = []
         self.period = period
+        #: Late-response parking: (loc key, loc generation) -> parked
+        #: waiters, each carried with its purge deadline.  ``park_ttl <= 0``
+        #: disables parking (the paper's discard-on-expiry behaviour).
+        self.park_ttl = park_ttl
+        self._parked: dict[tuple[str, int], list[tuple[float, Waiter]]] = {}
+        self._park_order: list[tuple[float, str, int]] = []
         self._active = 0
-        # Statistics surfaced by bench E6.
+        # Statistics surfaced by bench E6 / E6-wan.
         self.fast_responses = 0
         self.timeouts = 0
         self.rejected = 0
+        self.late_responses = 0
         # Observability (repro.obs): instruments resolved once, every hot
         # site below guards with one `is not None` check.
         self._obs = obs
@@ -136,7 +166,9 @@ class ResponseQueue:
             self._m_rejected = obs.metrics.counter("rq_rejected_total", node=node)
             self._m_released = obs.metrics.counter("rq_released_total", node=node)
             self._m_expired = obs.metrics.counter("rq_expired_total", node=node)
+            self._m_late = obs.metrics.counter("rq_late_responses_total", node=node)
             self._m_active = obs.metrics.gauge("rq_active_anchors", node=node)
+            self._m_window = obs.metrics.gauge("rq_window_seconds", node=node)
             self._m_wait = obs.metrics.histogram("rq_wait_seconds", node=node)
 
     # -- introspection ---------------------------------------------------------
@@ -148,14 +180,34 @@ class ResponseQueue:
     def pending_waiters(self) -> int:
         return sum(len(a.waiters) for a in self._anchors if a.in_use)
 
+    def parked_waiters(self) -> int:
+        """Expired waiters still eligible for late-response release."""
+        return sum(len(entry) for entry in self._parked.values())
+
+    def has_anchor(self, loc: LocationObject, mode: str) -> bool:
+        """True when *loc* holds a live anchor association for *mode*."""
+        return self._valid_anchor(loc, mode) is not None
+
     # -- enqueue ---------------------------------------------------------------
 
-    def add_waiter(self, loc: LocationObject, mode: str, payload: Any, now: float) -> AddOutcome:
+    def add_waiter(
+        self,
+        loc: LocationObject,
+        mode: str,
+        payload: Any,
+        now: float,
+        *,
+        window: float | None = None,
+    ) -> AddOutcome:
         """Queue a client for the answer to *loc* under *mode*.
 
         Joins the location object's existing anchor when its reference is
         still valid; otherwise takes a fresh anchor and records the
         association in the location object (``R_r`` or ``R_w``).
+
+        *window* sizes the fresh anchor's expiry deadline; None means the
+        global period.  A join ignores it — the anchor's clock is already
+        running, and extending it per joiner would starve the expiry sweep.
         """
         was_empty = self._active == 0
         anchor = self._valid_anchor(loc, mode)
@@ -171,9 +223,13 @@ class ResponseQueue:
             anchor.loc_generation = loc.generation
             anchor.mode = mode
             anchor.oldest = now
+            effective = self.period if window is None else window
+            anchor.expiry = now + effective
             self._active += 1
-            self._timeline.append((now, anchor.index, anchor.stamp))
+            heapq.heappush(self._timeline, (anchor.expiry, anchor.index, anchor.stamp))
             self._associate(loc, mode, anchor)
+            if self._obs is not None:
+                self._m_window.set(effective)
         anchor.waiters.append(Waiter(payload=payload, enqueued_at=now, mode=mode))
         if self._obs is not None:
             self._m_enq.inc()
@@ -222,27 +278,73 @@ class ResponseQueue:
                     self._m_wait.record(now - w.enqueued_at)
         return released
 
+    def on_late_response(
+        self,
+        loc: LocationObject,
+        server: int,
+        *,
+        write_capable: bool,
+        now: float,
+    ) -> list[Waiter]:
+        """Release *parked* waiters of *loc*: the response beat the full delay.
+
+        The anchor these waiters sat on expired (and has very likely been
+        reclaimed, restamped, and reused for some other file — parking is
+        keyed by location key + generation precisely so anchor reuse cannot
+        misroute a late answer).  Read-only responses leave parked writers
+        in place for a later write-capable answer; duplicate late responses
+        find the parking slot empty and release nothing.
+        """
+        key = (loc.key, loc.generation)
+        entry = self._parked.get(key)
+        if not entry:
+            return []
+        released: list[Waiter] = []
+        kept: list[tuple[float, Waiter]] = []
+        for purge_at, w in entry:
+            if purge_at <= now:
+                continue  # past the park TTL: the client has retried already
+            if w.mode == AccessMode.WRITE and not write_capable:
+                kept.append((purge_at, w))
+                continue
+            w.server = server
+            released.append(w)
+        if kept:
+            self._parked[key] = kept
+        else:
+            del self._parked[key]
+        self.late_responses += len(released)
+        if self._obs is not None and released:
+            self._m_late.inc(len(released))
+            for w in released:
+                self._m_wait.record(now - w.enqueued_at)
+        return released
+
     def expire(self, now: float) -> list[Waiter]:
-        """Remove every anchor older than one period; return its waiters.
+        """Remove every anchor past its window; return its waiters.
 
         Implements the response thread's clocking: "any request that has
         been in the queue for longer than 133 ms is removed and the cache
         association is invalidated".  Expired waiters keep ``server == -1``
-        — the caller imposes the full 5 s wait-and-retry on them.
+        — the caller imposes the full 5 s wait-and-retry on them — but stay
+        parked for :meth:`on_late_response` until ``park_ttl`` passes.
         """
-        cutoff = now - self.period
+        self._purge_parked(now)
         expired: list[Waiter] = []
-        while self._timeline and self._timeline[0][0] <= cutoff:
-            enq, idx, stamp = self._timeline.popleft()
+        while self._timeline and self._timeline[0][0] <= now:
+            _expiry, idx, stamp = heapq.heappop(self._timeline)
             anchor = self._anchors[idx]
             if not anchor.in_use or anchor.stamp != stamp:
                 continue  # already released by a response
             loc, mode = anchor.loc, anchor.mode
-            expired.extend(anchor.reclaim())
+            waiters = anchor.reclaim()
+            expired.extend(waiters)
             self._active -= 1
             self._free.append(anchor.index)
             if loc is not None:
                 self._dissociate(loc, mode)
+                if self.park_ttl > 0 and waiters:
+                    self._park(loc, waiters, now)
         self.timeouts += len(expired)
         if self._obs is not None and expired:
             self._m_expired.inc(len(expired))
@@ -254,12 +356,55 @@ class ResponseQueue:
     def next_expiry(self) -> float | None:
         """Earliest time an active anchor can expire, or None when idle."""
         while self._timeline:
-            enq, idx, stamp = self._timeline[0]
+            expiry, idx, stamp = self._timeline[0]
             anchor = self._anchors[idx]
             if anchor.in_use and anchor.stamp == stamp:
-                return enq + self.period
-            self._timeline.popleft()
+                return expiry
+            heapq.heappop(self._timeline)
         return None
+
+    # -- late-response parking ---------------------------------------------------
+
+    def unpark(self, loc: LocationObject, waiter: Waiter) -> bool:
+        """Withdraw one parked waiter (it found another path to an answer).
+
+        The re-query path calls this after re-anchoring an expired waiter's
+        payload: leaving the stale parked copy behind would release the
+        same client twice when the late answer finally lands.
+        """
+        key = (loc.key, loc.generation)
+        entry = self._parked.get(key)
+        if not entry:
+            return False
+        kept = [(p, w) for (p, w) in entry if w is not waiter]
+        if len(kept) == len(entry):
+            return False
+        if kept:
+            self._parked[key] = kept
+        else:
+            del self._parked[key]
+        return True
+
+    def _park(self, loc: LocationObject, waiters: list[Waiter], now: float) -> None:
+        key = (loc.key, loc.generation)
+        purge_at = now + self.park_ttl
+        entry = self._parked.setdefault(key, [])
+        for w in waiters:
+            entry.append((purge_at, w))
+        heapq.heappush(self._park_order, (purge_at, loc.key, loc.generation))
+
+    def _purge_parked(self, now: float) -> None:
+        while self._park_order and self._park_order[0][0] <= now:
+            _purge_at, key, generation = heapq.heappop(self._park_order)
+            entry = self._parked.get((key, generation))
+            if not entry:
+                self._parked.pop((key, generation), None)
+                continue
+            fresh = [(p, w) for (p, w) in entry if p > now]
+            if fresh:
+                self._parked[(key, generation)] = fresh
+            else:
+                del self._parked[(key, generation)]
 
     # -- association plumbing ----------------------------------------------------
 

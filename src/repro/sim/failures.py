@@ -98,15 +98,33 @@ def random_crash_schedule(
     Restart times are clamped to the horizon so every crashed host comes
     back before the scenario ends — the churn experiment asserts full
     recovery, which needs all servers eventually online.
+
+    Windows are non-overlapping *per host*: a host picked twice gets two
+    disjoint [crash, restart] intervals.  Overlap would be nonsense — the
+    earlier pair's ``restart`` would revive the host mid-way through the
+    later pair's downtime, so the schedule would claim N crash windows but
+    deliver fewer, and property tests over downtime accounting would lie.
+    Candidate windows colliding with a host's existing ones are re-sampled
+    (bounded), so the schedule always contains exactly *crashes* pairs.
     """
     if min_downtime > max_downtime:
         raise ValueError("min_downtime > max_downtime")
     events: list[FailureEvent] = []
+    taken: dict[str, list[tuple[float, float]]] = {}
     for _ in range(crashes):
-        host = rng.choice(hosts)
-        at = rng.uniform(0, horizon * 0.7)
-        downtime = rng.uniform(min_downtime, max_downtime)
-        back = min(at + downtime, horizon)
+        for _attempt in range(1000):
+            host = rng.choice(hosts)
+            at = rng.uniform(0, horizon * 0.7)
+            downtime = rng.uniform(min_downtime, max_downtime)
+            back = min(at + downtime, horizon)
+            if all(back < s or e < at for s, e in taken.get(host, [])):
+                break
+        else:
+            raise ValueError(
+                "could not place non-overlapping crash windows; "
+                "lower crashes or downtime relative to the horizon"
+            )
+        taken.setdefault(host, []).append((at, back))
         events.append(FailureEvent(at=at, kind="crash", target=host))
         events.append(FailureEvent(at=back, kind="restart", target=host))
     return sorted(events, key=lambda e: e.at)

@@ -122,6 +122,31 @@ class Network:
     def site_of(self, host: str) -> str | None:
         return self._host_site.get(host)
 
+    def federate(
+        self,
+        sites: dict[str, list[str]],
+        *,
+        wan_latency: LatencyModel,
+        pair_latency: dict[frozenset[str], LatencyModel] | None = None,
+    ) -> None:
+        """Build a WAN federation topology in one call (§IV-A).
+
+        *sites* maps site name -> hosts placed there; every distinct site
+        pair gets *wan_latency* one-way unless *pair_latency* overrides
+        that specific pair.  Intra-site traffic keeps the default model —
+        the paper's deployments are fast LANs joined by slow links.
+        """
+        for site, hosts in sites.items():
+            for h in hosts:
+                self.set_host_site(h, site)
+        names = sorted(sites)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                model = wan_latency
+                if pair_latency is not None:
+                    model = pair_latency.get(frozenset((a, b)), wan_latency)
+                self.set_site_latency(a, b, model)
+
     def latency_model(self, src: str, dst: str) -> LatencyModel:
         """Resolution order: explicit link override, then the site pair
         (when both hosts are placed at different sites), then the default."""

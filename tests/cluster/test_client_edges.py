@@ -78,6 +78,55 @@ class TestBudgets:
         assert not cluster.run_process(cluster.client().remove("/store/no"), limit=60)
 
 
+class TestPendingOpens:
+    def test_mid_stage_crash_does_not_hang_client(self):
+        """Regression: ``_open_timeout`` returned a ``1e6`` s sentinel for
+        pending opens, so a server crashing mid-stage stranded the client
+        for ~11 simulated days instead of entering the recovery loop."""
+        from repro.sim.latency import Fixed
+
+        cluster = ScallaCluster(
+            2,
+            config=ScallaConfig(seed=332, full_delay=0.5, stage_latency=Fixed(30.0)),
+        )
+        cluster.archive("/store/tape.root", cluster.servers[0], size=64)
+        cluster.settle()
+        client = cluster.client(
+            config=ClientConfig(pending_open_timeout=2.0, max_retries=3)
+        )
+
+        def scenario():
+            try:
+                yield from client.open("/store/tape.root")
+            except ScallaError:
+                return cluster.sim.now
+            raise AssertionError("open succeeded against a crashed stager")
+
+        proc = cluster.sim.process(scenario())
+        # Let the pending redirect land and the stage get underway...
+        cluster.run(until=cluster.sim.now + 1.0)
+        # ...then kill the only server that could ever produce the file.
+        cluster.node(cluster.servers[0]).crash()
+        t_end = cluster.sim.run_until_process(proc, limit=600)
+        # Failure surfaces within a few timeout/retry rounds, not 1e6 s.
+        assert t_end is not None and t_end < 60.0
+
+    def test_slow_stage_still_succeeds_within_budget(self):
+        """The finite pending timeout must not break legitimate staging."""
+        from repro.sim.latency import Fixed
+
+        cluster = ScallaCluster(
+            2,
+            config=ScallaConfig(seed=333, full_delay=0.5, stage_latency=Fixed(30.0)),
+        )
+        cluster.archive("/store/tape2.root", cluster.servers[0], size=64)
+        cluster.settle()
+        client = cluster.client(config=ClientConfig(pending_open_timeout=120.0))
+        res = cluster.run_process(client.open("/store/tape2.root"), limit=300)
+        assert res.size == 64
+        assert res.latency >= 30.0
+
+
 class TestDataPlaneErrors:
     def test_read_with_stale_handle_raises(self):
         cluster = ScallaCluster(1, config=ScallaConfig(seed=327))

@@ -176,3 +176,130 @@ class TestExpiry:
         q.add_waiter(loc, AccessMode.READ, "c", now=0.0)
         q.on_response(loc, server=0, write_capable=False)
         assert q.fast_responses == 1 and q.timeouts == 0
+
+
+class TestPerAnchorWindows:
+    def test_explicit_window_overrides_period(self):
+        q = ResponseQueue(period=0.133)
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "c", now=0.0, window=0.5)
+        assert q.next_expiry() == pytest.approx(0.5)
+        assert q.expire(now=0.2) == []
+        assert [w.payload for w in q.expire(now=0.51)] == ["c"]
+
+    def test_join_keeps_the_running_window(self):
+        q = ResponseQueue(period=0.133)
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "c1", now=0.0, window=0.5)
+        q.add_waiter(loc, AccessMode.READ, "c2", now=0.3, window=9.0)
+        # The joiner's window is ignored: the anchor's clock already runs.
+        assert q.next_expiry() == pytest.approx(0.5)
+        assert len(q.expire(now=0.51)) == 2
+
+    def test_mixed_windows_expire_out_of_fifo_order(self):
+        q = ResponseQueue(period=0.133)
+        long_w, short_w = make_loc("/a"), make_loc("/b")
+        q.add_waiter(long_w, AccessMode.READ, "long", now=0.0, window=1.0)
+        q.add_waiter(short_w, AccessMode.READ, "short", now=0.1)
+        assert [w.payload for w in q.expire(now=0.3)] == ["short"]
+        assert [w.payload for w in q.expire(now=1.1)] == ["long"]
+
+    def test_has_anchor(self):
+        q = ResponseQueue(period=0.133)
+        loc = make_loc()
+        assert not q.has_anchor(loc, AccessMode.READ)
+        q.add_waiter(loc, AccessMode.READ, "c", now=0.0)
+        assert q.has_anchor(loc, AccessMode.READ)
+        assert not q.has_anchor(loc, AccessMode.WRITE)
+        q.expire(now=1.0)
+        assert not q.has_anchor(loc, AccessMode.READ)
+
+
+class TestLateResponses:
+    def test_late_response_releases_parked_waiters(self):
+        q = ResponseQueue(period=0.133, park_ttl=5.0)
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "c", now=0.0)
+        q.expire(now=0.14)
+        assert q.parked_waiters() == 1
+        released = q.on_late_response(loc, server=4, write_capable=False, now=0.16)
+        assert [w.payload for w in released] == ["c"]
+        assert released[0].server == 4
+        assert q.parked_waiters() == 0
+        assert q.late_responses == 1
+
+    def test_park_ttl_zero_disables_parking(self):
+        q = ResponseQueue(period=0.133, park_ttl=0.0)
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "c", now=0.0)
+        q.expire(now=0.14)
+        assert q.parked_waiters() == 0
+        assert q.on_late_response(loc, server=4, write_capable=True, now=0.16) == []
+
+    def test_late_release_survives_anchor_stamp_reuse(self):
+        """Parking is keyed by location key+generation, not by anchor: the
+        expired anchor being reclaimed and reused for another file must not
+        misroute (or block) the late answer."""
+        q = ResponseQueue(anchors=1, period=0.133, park_ttl=5.0)
+        loc, other = make_loc("/a"), make_loc("/b")
+        q.add_waiter(loc, AccessMode.READ, "slow", now=0.0)
+        q.expire(now=0.14)
+        # The single anchor is immediately reused (stamp bumped) by /b.
+        assert q.add_waiter(other, AccessMode.READ, "fresh", now=0.15).accepted
+        released = q.on_late_response(loc, server=2, write_capable=True, now=0.2)
+        assert [w.payload for w in released] == ["slow"]
+        # /b's live anchor is untouched by /a's late answer.
+        assert q.pending_waiters() == 1
+
+    def test_read_only_late_response_keeps_parked_writers(self):
+        q = ResponseQueue(period=0.133, park_ttl=5.0)
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "r", now=0.0)
+        q.add_waiter(loc, AccessMode.WRITE, "w", now=0.0)
+        q.expire(now=0.14)
+        released = q.on_late_response(loc, server=1, write_capable=False, now=0.2)
+        assert [w.payload for w in released] == ["r"]
+        assert q.parked_waiters() == 1
+        # A later write-capable answer picks up the parked writer.
+        released = q.on_late_response(loc, server=2, write_capable=True, now=0.3)
+        assert [w.payload for w in released] == ["w"]
+        assert q.parked_waiters() == 0
+
+    def test_duplicate_late_responses_release_once(self):
+        q = ResponseQueue(period=0.133, park_ttl=5.0)
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "c", now=0.0)
+        q.expire(now=0.14)
+        assert len(q.on_late_response(loc, server=1, write_capable=True, now=0.2)) == 1
+        assert q.on_late_response(loc, server=2, write_capable=True, now=0.21) == []
+        assert q.late_responses == 1
+
+    def test_parked_waiters_purged_after_ttl(self):
+        q = ResponseQueue(period=0.133, park_ttl=1.0)
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "c", now=0.0)
+        q.expire(now=0.14)
+        assert q.parked_waiters() == 1
+        q.expire(now=2.0)  # purge rides the expiry sweep
+        assert q.parked_waiters() == 0
+        # Past the TTL the client has retried: nothing to release.
+        assert q.on_late_response(loc, server=1, write_capable=True, now=2.1) == []
+
+    def test_generation_bump_orphans_parked_entry(self):
+        q = ResponseQueue(period=0.133, park_ttl=5.0)
+        loc = make_loc("/a")
+        q.add_waiter(loc, AccessMode.READ, "c", now=0.0)
+        q.expire(now=0.14)
+        loc.hide()  # recycled: any late answer now concerns a dead epoch
+        assert q.on_late_response(loc, server=1, write_capable=True, now=0.2) == []
+
+    def test_unpark_withdraws_one_waiter(self):
+        q = ResponseQueue(period=0.133, park_ttl=5.0)
+        loc = make_loc()
+        q.add_waiter(loc, AccessMode.READ, "c1", now=0.0)
+        q.add_waiter(loc, AccessMode.READ, "c2", now=0.0)
+        parked = q.expire(now=0.14)
+        assert q.unpark(loc, parked[0])
+        assert not q.unpark(loc, parked[0])  # already gone
+        released = q.on_late_response(loc, server=1, write_capable=True, now=0.2)
+        assert [w.payload for w in released] == ["c2"]

@@ -183,3 +183,45 @@ class TestRandomSchedule:
             random_crash_schedule(
                 random.Random(0), ["h"], horizon=10, crashes=1, min_downtime=5, max_downtime=1
             )
+
+    def test_windows_non_overlapping_per_host(self):
+        """Property: per host, crash/restart windows never overlap.
+
+        Overlap used to be possible (hosts sampled with replacement, no
+        collision check): an earlier pair's restart would revive the host
+        mid-way through a later pair's downtime.  Sorted by time, a valid
+        per-host event sequence must strictly alternate crash/restart.
+        """
+        for seed in range(25):
+            events = random_crash_schedule(
+                random.Random(seed),
+                ["h1", "h2"],
+                horizon=200.0,
+                crashes=8,
+                min_downtime=5.0,
+                max_downtime=15.0,
+            )
+            assert len(events) == 16
+            per_host: dict[str, list] = {}
+            for e in events:
+                per_host.setdefault(e.target, []).append(e)
+            for host, evs in per_host.items():
+                evs.sort(key=lambda e: e.at)
+                kinds = [e.kind for e in evs]
+                assert kinds == ["crash", "restart"] * (len(evs) // 2), (
+                    f"seed {seed}: overlapping windows on {host}: "
+                    f"{[(e.kind, round(e.at, 2)) for e in evs]}"
+                )
+
+    def test_unplaceable_schedule_raises(self):
+        """Demanding more downtime than the horizon can hold fails loudly
+        instead of looping forever or silently overlapping."""
+        with pytest.raises(ValueError):
+            random_crash_schedule(
+                random.Random(1),
+                ["only"],
+                horizon=10.0,
+                crashes=5,
+                min_downtime=9.0,
+                max_downtime=9.5,
+            )
