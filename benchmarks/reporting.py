@@ -138,4 +138,12 @@ def record_snapshot(experiment: str, snapshot: dict, *, echo: bool = True) -> pa
             f"queue_wait_p50={qw.get('p50', 0.0) * 1e6:.1f}us "
             f"queue_wait_p99={qw.get('p99', 0.0) * 1e6:.1f}us"
         )
+        churn = {
+            k: d[k]
+            for k in ("failovers", "rehomes", "chaos_msgs_dropped")
+            if d.get(k)
+        }
+        if churn:
+            rendered = " ".join(f"{k}={v}" for k, v in churn.items())
+            print(f"[{experiment}] fault tolerance: {rendered}")
     return out

@@ -2,7 +2,8 @@
 # Local pre-push check — the same gates CI runs, in the same order.
 #
 #   scripts/check.sh           # ruff (if installed) + scalla-lint +
-#                              # tier-1 tests + determinism double-run
+#                              # tier-1 tests + determinism double-run +
+#                              # sanitized chaos soak
 #   scripts/check.sh --bench   # also run the E1/E6 smoke benches,
 #                              # validate their metric snapshots, and
 #                              # gate the perf suite against the
@@ -47,6 +48,9 @@ python -m pytest -x -q
 
 echo "== determinism (same-seed double run, SimSan on run 2)"
 python -m repro.analysis.determinism --sanitize
+
+echo "== chaos soak (sanitized)"
+SCALLA_SANITIZE=1 python -m pytest tests/integration/test_chaos.py -q
 
 if [ "$run_bench" -eq 1 ]; then
   echo "== smoke benches (E1, E6)"

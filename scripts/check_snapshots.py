@@ -26,6 +26,9 @@ REQUIRED_DERIVED = (
     "fast_release_ratio",
     "evictions",
     "corrections",
+    "failovers",
+    "rehomes",
+    "chaos_msgs_dropped",
 )
 QUEUE_WAIT_KEYS = ("count", "mean", "p50", "p95", "p99", "minimum", "maximum")
 

@@ -275,6 +275,63 @@ class Sanitizer:
                         server=w.server,
                     )
 
+    def check_subordinate(self, cmsd) -> None:
+        """Re-home path invariants on a subordinate cmsd.
+
+        A subordinate may be logged into several parents (manager
+        replicas), but never into the *same* parent twice; its silence
+        clocks and backoff state must only name current parents (a stale
+        key would re-login to a host we already re-homed away from); and
+        re-homing must never shrink the parent set or strand a node whose
+        standby pool still has somewhere to point.
+        """
+        self.sweeps += 1
+        parents = cmsd.parents
+        if len(set(parents)) != len(parents):
+            raise self._tag(
+                InvariantViolation(
+                    "subordinate logged into the same parent twice",
+                    invariant="parents-distinct",
+                    parents=parents,
+                )
+            )
+        for key in cmsd._last_parent_ack:
+            if key not in parents:
+                raise self._tag(
+                    InvariantViolation(
+                        "silence clock names a node that is not a parent",
+                        invariant="ack-keys-subset",
+                        stale=key,
+                        parents=parents,
+                    )
+                )
+        for key in cmsd._relogin_state:
+            if key not in parents:
+                raise self._tag(
+                    InvariantViolation(
+                        "re-login backoff names a node that is not a parent",
+                        invariant="relogin-keys-subset",
+                        stale=key,
+                        parents=parents,
+                    )
+                )
+        if cmsd.standbys and not cmsd._standby_pool:
+            raise self._tag(
+                InvariantViolation(
+                    "standby pool empty although standbys are configured",
+                    invariant="standby-pool-nonempty",
+                    standbys=cmsd.standbys,
+                )
+            )
+        if not parents and cmsd._standby_pool:
+            raise self._tag(
+                InvariantViolation(
+                    "subordinate has no parents while standbys remain",
+                    invariant="parents-nonempty",
+                    pool=cmsd._standby_pool,
+                )
+            )
+
     # -- internals --------------------------------------------------------
 
     def _tag(self, exc: InvariantViolation) -> InvariantViolation:

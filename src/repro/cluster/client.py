@@ -73,6 +73,16 @@ class ClientConfig:
     max_retries: int = 10
     #: Full manager failover cycles before giving up.
     max_failover_cycles: int = 3
+    #: Base delay for the exponential backoff between *consecutive*
+    #: manager failovers.  The first rotation in a streak is immediate —
+    #: the timeout that triggered it already cost seconds, and with a
+    #: healthy replica next in line an extra sleep is pure added latency.
+    failover_backoff: float = 0.25
+    #: Cap on the failover backoff delay.
+    failover_backoff_cap: float = 2.0
+    #: Jitter fraction on failover backoff (decorrelates a client herd
+    #: cycling through the same dead manager list in lockstep).
+    failover_jitter: float = 0.25
 
 
 @dataclass
@@ -131,6 +141,7 @@ class ScallaClient:
             self._m_redirects = m.counter("client_redirects_total", node=name)
             self._m_waits = m.counter("client_waits_total", node=name)
             self._m_opens = m.counter("client_opens_total", node=name)
+            self._m_failovers = m.counter("failovers_total", node=name)
             self._m_resolve = m.histogram("client_resolve_seconds", node=name)
         self._next_req = 1
         self._pending: dict[int, object] = {}
@@ -166,9 +177,32 @@ class ScallaClient:
     def _current_manager_cmsd(self) -> str:
         return cmsd_host(self.managers[self._manager_idx])
 
-    def _failover(self) -> None:
+    def _failover(self, streak: int = 0):
+        """Rotate to the next manager replica; generator.
+
+        *streak* is how many consecutive failovers preceded this one: 0
+        rotates immediately, anything higher sleeps a capped, jittered
+        exponential backoff first — when *every* replica is dark, the
+        client should probe gently instead of spinning through the list
+        at timeout speed.
+        """
         self._manager_idx = (self._manager_idx + 1) % len(self.managers)
         self.stats.failovers += 1
+        if self._obs is not None:
+            self._m_failovers.inc()
+            self._obs.tracer.cluster_event(
+                "client.mgr_failover",
+                client=self.name,
+                manager=self.managers[self._manager_idx],
+                streak=streak,
+            )
+        if streak > 0:
+            delay = min(
+                self.config.failover_backoff_cap,
+                self.config.failover_backoff * (2.0 ** (streak - 1)),
+            )
+            delay *= 1.0 + self.config.failover_jitter * self.rng.random()
+            yield self.sim.sleep(delay)
 
     # -- the protocol ---------------------------------------------------------
 
@@ -206,6 +240,8 @@ class ScallaClient:
         redirects = waits = 0
         timeouts = 0
         retries = 0
+        #: Consecutive fruitless full-delay Waits at one interior node.
+        interior_waits = 0
         #: A verdict that arrived *during* a watched Wait (late-response
         #: reconciliation) — processed on the next loop pass in place of a
         #: fresh Locate.
@@ -234,14 +270,15 @@ class ScallaClient:
                 timeouts += 1
                 if timeouts > self.config.max_failover_cycles * len(self.managers):
                     raise ClusterUnreachable(f"no manager answered for {path!r}")
-                self._failover()
+                yield from self._failover(timeouts - 1)
                 contact = self._current_manager_cmsd()
                 at_manager = True
                 if trace is not None:
-                    trace.event("client.failover", self._obs.now(), node=self.name)
+                    trace.event("client.mgr_failover", self._obs.now(), node=self.name)
                 continue
             if isinstance(resp, pr.Redirect):
                 redirects += 1
+                interior_waits = 0
                 self.stats.redirects += 1
                 if trace is not None:
                     self._m_redirects.inc()
@@ -287,6 +324,19 @@ class ScallaClient:
                         self._pending.pop(msg.req_id, None)
                 else:
                     yield self.sim.sleep(resp.delay)
+                if not at_manager:
+                    # A subtree that makes us wait out a full epoch twice
+                    # and still has nothing is the wrong subtree: the
+                    # manager's aggregate pointing here is stale (its
+                    # supervisor can't say "not below me" — silence is its
+                    # only negative).  Restart from the top with a refresh,
+                    # the same §III-C1 recovery used for mis-vectoring.
+                    interior_waits += 1
+                    if interior_waits >= 2:
+                        interior_waits = 0
+                        contact = self._current_manager_cmsd()
+                        at_manager = True
+                        refresh = True
                 continue
             if isinstance(resp, pr.NotFound):
                 if at_manager:
@@ -308,11 +358,25 @@ class ScallaClient:
         start = self.sim.now
         avoid: list[str] = []
         refresh = False
+        refreshed_notfound = False
         total_redirects = total_waits = 0
+        fo_streak = 0
         for _attempt in range(self.config.max_retries):
-            node, pending, redirects, waits = yield from self._locate_full(
-                path, mode, create, refresh, tuple(avoid)
-            )
+            try:
+                node, pending, redirects, waits = yield from self._locate_full(
+                    path, mode, create, refresh, tuple(avoid)
+                )
+            except NoSuchFile:
+                # A negative verdict can rest on queries the network ate
+                # (silence is indistinguishable from "doesn't have it").
+                # Verify it once with a refresh — the same §III-C1 recovery
+                # used for mis-vectoring — before telling the caller.
+                if refreshed_notfound:
+                    raise
+                refreshed_notfound = True
+                self.stats.refreshes += 1
+                refresh = True
+                continue
             total_redirects += redirects
             total_waits += waits
             omsg = pr.Open(
@@ -342,7 +406,10 @@ class ScallaClient:
                 # Open timed out — the server (possibly mid-stage) is gone.
                 # Rotate managers before re-locating: the redirect that sent
                 # us here may reflect a manager's stale view of that host.
-                self._failover()
+                yield from self._failover(fo_streak)
+                fo_streak += 1
+            else:
+                fo_streak = 0
             # ENOENT, bad handle, or server death: general recovery — ask
             # for a cache refresh and avoid the failing host.
             self.stats.refreshes += 1

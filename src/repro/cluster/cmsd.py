@@ -73,6 +73,22 @@ class CmsdConfig:
     drop_timeout: float = 600.0
     #: Missed-ack horizon after which a subordinate re-logins.
     relogin_timeout: float = 3.5
+    #: Supervisor failover: when a parent stays silent past
+    #: ``relogin_timeout``, re-home to the next standby (the dead parent's
+    #: sibling supervisor, else the grandparent/manager) instead of
+    #: heartbeating into the void.  The adopting parent treats the login
+    #: as an ordinary §III-A4 "server added" membership event, so cached
+    #: locations stay correctable with zero cache walks.  False restores
+    #: the seed behaviour where a crashed interior node strands its
+    #: subtree until the same host returns.
+    rehome: bool = True
+    #: Cap on the exponential re-login backoff (engaged when a parent is
+    #: silent and no standby exists — e.g. the parent is a manager the
+    #: subordinate is already fully connected to).
+    relogin_backoff_cap: float = 30.0
+    #: Jitter fraction on re-login backoff delays (decorrelates a 64-wide
+    #: subtree re-discovering its parent at once).
+    relogin_jitter: float = 0.25
     #: Selection policy for read/write redirection.
     read_policy: SelectionPolicy = field(default_factory=RoundRobin)
     #: Selection policy for placing new files.
@@ -141,7 +157,17 @@ class CmsdStats:
     #: on the full conservative delay — visible anchor pressure, not noise.
     rq_rejected: int = 0
     logins_handled: int = 0
+    #: Login messages sent upward, counted per parent send (a login to two
+    #: managers counts twice — it is two wire messages).
     relogins_sent: int = 0
+    #: The same, broken down by parent — lets the churn benches tell a
+    #: healthy re-login from an orphan storm against one dead host.
+    relogins_by_parent: dict[str, int] = field(default_factory=dict)
+    #: Successful parent swaps (standby adoptions).
+    rehomes: int = 0
+    #: Cumulative time this subordinate spent with *every* parent silent
+    #: past the re-login horizon (heartbeat-interval granularity).
+    orphaned_seconds: float = 0.0
     prepares: int = 0
     refreshes: int = 0
 
@@ -197,6 +223,7 @@ class Cmsd:
         node_id: NodeId,
         *,
         parents: tuple[str, ...] = (),  # parent node names
+        standbys: tuple[str, ...] = (),  # failover parents, in order
         exports: tuple[str, ...] = ("/store",),
         xrootd: XrootdServer | None = None,
         config: CmsdConfig | None = None,
@@ -208,6 +235,14 @@ class Cmsd:
         self.network = network
         self.node_id = node_id
         self.parents = parents
+        self.standbys = standbys
+        #: Re-home rotation: the configured standbys first, then the
+        #: original parents (so a subordinate driven off its home parent
+        #: eventually retries it once the alternatives are exhausted).
+        self._standby_pool: tuple[str, ...] = standbys + tuple(
+            p for p in parents if p not in standbys
+        )
+        self._standby_idx = 0
         self.exports = exports
         self.xrootd = xrootd
         self.config = config if config is not None else CmsdConfig()
@@ -230,6 +265,8 @@ class Cmsd:
             self._m_haves_rx = m.counter("cmsd_haves_received_total", node=name)
             self._m_fast_released = m.counter("cmsd_fast_released_total", node=name)
             self._m_requeries = m.counter("rq_requeries_total", node=name)
+            self._m_rehomes = m.counter("rehomes_total", node=name)
+            self._m_orphaned = m.gauge("orphaned_subtree_seconds", node=name)
 
         if node_id.role is not Role.SERVER:
             self.membership = ClusterMembership(obs=obs, node=node_id.name)
@@ -246,7 +283,6 @@ class Cmsd:
             self.deadline = DeadlinePolicy(full_delay=self.config.full_delay)
             self.metrics = ServerMetrics()
             self.children: dict[str, ChildInfo] = {}
-            self.sanitizer = Sanitizer(node=node_id.name) if self.config.sanitize else None
         else:
             self.membership = None
             self.cache = None
@@ -254,11 +290,17 @@ class Cmsd:
             self.deadline = None
             self.metrics = None
             self.children = {}
-            self.sanitizer = None
+        # Every role gets a sanitizer: servers have no cache/queue, but
+        # their subordinate half (parents, re-home state) is checkable.
+        self.sanitizer = Sanitizer(node=node_id.name) if self.config.sanitize else None
 
         self._procs: list[Process] = []
         self._rq_wake = None
         self._last_parent_ack: dict[str, float] = {}
+        #: Per-parent re-login backoff: parent -> (attempts, earliest next
+        #: send).  Populated only while a parent is silent; cleared by the
+        #: first ack.
+        self._relogin_state: dict[str, tuple[int, float]] = {}
         self._query_serial = 0
         #: Per-child EWMA round-trip estimate (seconds), fed from the
         #: observed one-way delivery delay of logins/heartbeats/responses
@@ -303,16 +345,26 @@ class Cmsd:
             self._m_msgs.inc()
         self.network.send(self.host.name, to, msg, size=pr.estimate_size(msg))
 
-    def _login_to_parents(self) -> None:
+    def _login_to_parent(self, parent: str) -> None:
         msg = pr.Login(
             node=self.node_id.name,
             role=self.node_id.role.value,
             paths=self.exports,
             instance=self.instance,
         )
-        for parent in self.parents:
-            self._send(cmsd_host(parent), msg)
+        self._send(cmsd_host(parent), msg)
         self.stats.relogins_sent += 1
+        self.stats.relogins_by_parent[parent] = (
+            self.stats.relogins_by_parent.get(parent, 0) + 1
+        )
+        # Start the silence clock at the login send: a parent that never
+        # acks anything must still trip the re-login horizon (leaving the
+        # clock unset made silent_for read as zero forever).
+        self._last_parent_ack.setdefault(parent, self.sim.now)
+
+    def _login_to_parents(self) -> None:
+        for parent in self.parents:
+            self._login_to_parent(parent)
 
     # -- subordinate half -----------------------------------------------------
 
@@ -324,16 +376,91 @@ class Cmsd:
                 space = self.xrootd.free_space if self.xrootd is not None else 0.0
                 site = self.network.site_of(self.host.name) or ""
                 hb = pr.Heartbeat(node=self.node_id.name, load=load, free_space=space, site=site)
-                for parent in self.parents:
+                now = self.sim.now
+                silent: list[str] = []
+                for parent in tuple(self.parents):
                     self._send(cmsd_host(parent), hb)
-                    last = self._last_parent_ack.get(parent, self.sim.now)
-                    if self.sim.now - last > self.config.relogin_timeout:
-                        # Parent went quiet: assume it restarted state-less
-                        # and re-introduce ourselves.
-                        self._login_to_parents()
-                        self._last_parent_ack[parent] = self.sim.now
+                    last = self._last_parent_ack.get(parent, now)
+                    if now - last > self.config.relogin_timeout:
+                        silent.append(parent)
+                if silent and len(silent) == len(self.parents):
+                    # Every parent unreachable: the whole subtree below us
+                    # is orphaned until a re-home or re-login lands.
+                    self.stats.orphaned_seconds += self.config.heartbeat_interval
+                    if self._obs is not None:
+                        self._m_orphaned.set(self.stats.orphaned_seconds)
+                for parent in silent:
+                    self._handle_silent_parent(parent, now)
+                if self.sanitizer is not None and self.parents:
+                    self.sanitizer.check_subordinate(self)
         except Interrupt:
             return
+
+    def _handle_silent_parent(self, parent: str, now: float) -> None:
+        """A parent blew the re-login horizon: re-home, or back off and
+        re-login.
+
+        Silence past ``relogin_timeout`` means the parent is *unreachable*
+        — a restarted state-less parent still answers heartbeats (with
+        ``known=False``), which the ordinary re-login in
+        ``_on_heartbeat_ack`` covers without ever reaching this path.
+        """
+        attempts, next_at = self._relogin_state.get(parent, (0, 0.0))
+        if now < next_at:
+            return
+        if self.config.rehome and self._rehome(parent, now):
+            return
+        # Nowhere to re-home (or re-homing disabled): keep re-introducing
+        # ourselves, with capped jittered exponential backoff so a dead
+        # manager is not buried under a 64-wide re-login storm when it
+        # finally returns.
+        self._login_to_parent(parent)
+        delay = min(
+            self.config.relogin_backoff_cap,
+            self.config.relogin_timeout * (2.0**attempts),
+        )
+        delay *= 1.0 + self.config.relogin_jitter * self.rng.random()
+        self._relogin_state[parent] = (attempts + 1, now + delay)
+
+    def _rehome(self, dead_parent: str, now: float) -> bool:
+        """Adopt the next standby in place of *dead_parent*.
+
+        Rotates through the standby pool — sibling supervisors first, then
+        the grandparent/manager level, then the original parent again — and
+        swaps the first candidate we are not already logged into in place
+        of the dead one.  The adopter treats our Login as an ordinary
+        §III-A4 "server added" membership event (fresh slot, C-counter
+        stamp), so every cached location above stays correctable with zero
+        cache walks.  Returns False when there is nowhere to go (e.g. a
+        top-level subordinate already logged into every manager).
+        """
+        pool = self._standby_pool
+        if not pool:
+            return False
+        for _ in range(len(pool)):
+            candidate = pool[self._standby_idx % len(pool)]
+            self._standby_idx += 1
+            if candidate != dead_parent and candidate not in self.parents:
+                break
+        else:
+            return False
+        self.parents = tuple(p for p in self.parents if p != dead_parent) + (candidate,)
+        self._last_parent_ack.pop(dead_parent, None)
+        self._relogin_state.pop(dead_parent, None)
+        self.stats.rehomes += 1
+        self._login_to_parent(candidate)
+        if self._obs is not None:
+            self._m_rehomes.inc()
+            self._obs.tracer.cluster_event(
+                "cmsd.rehome",
+                time=now,
+                node=self.node_id.name,
+                old=dead_parent,
+                new=candidate,
+            )
+        if self.sanitizer is not None:
+            self.sanitizer.check_subordinate(self)
+        return True
 
     # -- parent-side background processes ----------------------------------------
 
@@ -557,7 +684,13 @@ class Cmsd:
 
     def _on_login(self, msg: pr.Login, src: str, sent_at: float = 0.0) -> None:
         self._observe_peer(msg.node, 2.0 * (self.sim.now - sent_at))
-        slot = self.membership.login(msg.node, msg.paths)
+        try:
+            slot = self.membership.login(msg.node, msg.paths)
+        except OverflowError:
+            # All 64 slots occupied: ignore the login.  No ack means the
+            # subordinate's silence clock keeps running and it rotates on
+            # to its next standby instead of wedging a full parent.
+            return
         self.children[msg.node] = ChildInfo(
             name=msg.node, role=Role(msg.role), last_seen=self.sim.now
         )
@@ -585,9 +718,14 @@ class Cmsd:
 
     def _on_heartbeat_ack(self, msg: pr.HeartbeatAck, src: str) -> None:
         parent = msg.node
+        if parent not in self.parents:
+            return  # stale ack from a parent we already re-homed away from
         self._last_parent_ack[parent] = self.sim.now
+        self._relogin_state.pop(parent, None)
         if not msg.known:
-            self._login_to_parents()
+            # Parent restarted state-less: re-introduce ourselves to it
+            # alone (the other parents still know us).
+            self._login_to_parent(parent)
 
     # -- server-side query handling (the request-rarely-respond leaf) --------------
 
@@ -640,14 +778,22 @@ class Cmsd:
 
     # -- supervisor/manager logic ---------------------------------------------------
 
-    def _flood_queries(self, obj, path: str, hash_val: int, mode: str) -> None:
+    def _flood_queries(
+        self, obj, path: str, hash_val: int, mode: str, *, refresh: bool = False
+    ) -> None:
         """Send QueryFile to every *online* server in V_q; V_q keeps the
         unreachable remainder (resolution step 6)."""
         targets = obj.v_q & self.membership.v_online
         if not targets:
             return
         self._query_serial += 1
-        q = pr.QueryFile(path=path, hash_val=hash_val, mode=mode, serial=self._query_serial)
+        q = pr.QueryFile(
+            path=path,
+            hash_val=hash_val,
+            mode=mode,
+            serial=self._query_serial,
+            refresh=refresh,
+        )
         fanout = 0
         for slot in bitvec.iter_bits(targets):
             name = self.membership.server_name(slot)
@@ -774,7 +920,7 @@ class Cmsd:
         # deadline-based single-querier rule (§III-C2).
         if self.deadline.i_should_query(obj, now):
             self.deadline.arm(obj, now)
-            self._flood_queries(obj, msg.path, ref.hash_val, mode)
+            self._flood_queries(obj, msg.path, ref.hash_val, mode, refresh=msg.refresh)
         elif not self.config.deadline_sync and self.deadline.active(obj, now):
             # Ablation: with synchronization off, this thread cannot tell a
             # flood is already in flight, so it re-queries every eligible
@@ -782,7 +928,7 @@ class Cmsd:
             # prevent.
             obj.v_q = self.membership.eligible(msg.path)
             self.deadline.arm(obj, now)
-            self._flood_queries(obj, msg.path, ref.hash_val, mode)
+            self._flood_queries(obj, msg.path, ref.hash_val, mode, refresh=msg.refresh)
 
         if self.deadline.active(obj, now):
             # Queries (ours or another thread's) may still be answered:
@@ -872,6 +1018,14 @@ class Cmsd:
         now = self.sim.now
         if self._obs is not None:
             self._obs.tracer.event(msg.path, "supervisor.query", node=self.node_id.name)
+        if msg.refresh:
+            existing, _ = self.cache.lookup(msg.path, now, add=False)
+            if existing is not None:
+                # Propagated §III-C1 refresh: forget the aggregate we told
+                # the parent before (it may rest on queries that never
+                # arrived) and re-derive it from our own children.
+                self.cache.refresh(existing, now)
+                self.stats.refreshes += 1
         ref, _ = self.cache.lookup(msg.path, now)
         obj = ref.get()
         if obj.v_h & self.membership.v_online:
@@ -882,7 +1036,7 @@ class Cmsd:
             return
         if self.deadline.i_should_query(obj, now):
             self.deadline.arm(obj, now)
-            self._flood_queries(obj, msg.path, msg.hash_val, msg.mode)
+            self._flood_queries(obj, msg.path, msg.hash_val, msg.mode, refresh=msg.refresh)
         if self.deadline.active(obj, now):
             payload = _ParentWaiter(parent_host=src, path=msg.path, hash_val=msg.hash_val)
             self._enqueue_waiter(obj, AccessMode.READ, payload, msg.path)

@@ -75,6 +75,15 @@ class ScallaNode:
     def role(self) -> Role:
         return self.spec.role
 
+    @property
+    def current_parents(self) -> tuple[str, ...]:
+        """The running cmsd's parent set — differs from ``spec.parents``
+        after a re-home.  A crashed node forgets its adoption (in-memory
+        state only) and boots back onto the static parents."""
+        if self.running and self.cmsd is not None:
+            return self.cmsd.parents
+        return self.spec.parents
+
     def start(self) -> None:
         """Boot fresh daemons (in-memory state starts empty)."""
         if self.running:
@@ -102,6 +111,7 @@ class ScallaNode:
             self.network,
             self.spec.node_id,
             parents=self.spec.parents,
+            standbys=self.spec.standbys,
             exports=self.spec.exports,
             xrootd=self.xrootd,
             config=self.cmsd_config,

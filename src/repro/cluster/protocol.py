@@ -101,6 +101,13 @@ class QueryFile:
     hash_val: int  # streamed along so nobody rehashes (§III-B1)
     mode: str  # AccessMode.READ / .WRITE
     serial: int  # parent-side epoch, for diagnostics
+    #: Client-initiated refresh (§III-C1), propagated down the tree: an
+    #: interior node receiving it resets its cached entry before
+    #: answering.  Without propagation a supervisor's stale negative —
+    #: e.g. a query that was lost on the wire, leaving silence that looks
+    #: exactly like "nobody has it" — would survive the manager's own
+    #: refresh forever.
+    refresh: bool = False
 
 
 @dataclass(frozen=True)

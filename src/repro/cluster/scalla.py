@@ -59,6 +59,10 @@ class ScallaConfig:
     exports: tuple[str, ...] = ("/store",)
     fanout: int = 64
     manager_replicas: int = 1
+    #: Preferred spelling of ``manager_replicas``: N shared-nothing peer
+    #: managers, each receiving every top-level login and HaveFile
+    #: advisory.  Wins over ``manager_replicas`` when set.
+    managers: int | None = None
     seed: int = 0
 
     #: One-way wire latency between any two hosts.
@@ -81,6 +85,18 @@ class ScallaConfig:
     disconnect_timeout: float = 3.5
     drop_timeout: float = 600.0
     relogin_timeout: float = 3.5
+    #: Supervisor failover: subordinates of a dead parent re-home to a
+    #: standby (sibling supervisor, else grandparent/manager) instead of
+    #: heartbeating into the void; see CmsdConfig.rehome.  False restores
+    #: the seed behaviour (a crashed interior node strands its subtree).
+    rehome: bool = True
+    relogin_backoff_cap: float = 30.0
+    relogin_jitter: float = 0.25
+    #: Chaos injection (gray failures): probabilistic message loss,
+    #: duplication, and delay spikes on every link; see
+    #: :class:`repro.sim.network.ChaosConfig`.  None means no chaos and
+    #: zero extra RNG draws — event streams stay bit-identical.
+    chaos: "object | None" = None
     #: Ablation switches (benches E6/E10); see CmsdConfig.
     fast_response: bool = True
     deadline_sync: bool = True
@@ -120,6 +136,9 @@ class ScallaConfig:
             disconnect_timeout=self.disconnect_timeout,
             drop_timeout=self.drop_timeout,
             relogin_timeout=self.relogin_timeout,
+            rehome=self.rehome,
+            relogin_backoff_cap=self.relogin_backoff_cap,
+            relogin_jitter=self.relogin_jitter,
             fast_response=self.fast_response,
             deadline_sync=self.deadline_sync,
             locality_aware=self.locality_aware,
@@ -129,7 +148,7 @@ class ScallaConfig:
             requery_limit=self.requery_limit,
             requery_backoff=self.requery_backoff,
             late_release=self.late_release,
-            sanitize=self.sanitize and role is not Role.SERVER,
+            sanitize=self.sanitize,
         )
 
     def xrootd_config(self) -> XrootdConfig:
@@ -157,12 +176,15 @@ class ScallaCluster:
             self.sim,
             default_latency=self.config.network_latency,
             rng=random.Random(self.rng.random()),
+            chaos=self.config.chaos,
+            obs=self.obs,
         )
         self.topology: Topology = build_topology(
             n_servers,
             fanout=self.config.fanout,
             exports=self.config.exports,
             manager_replicas=self.config.manager_replicas,
+            managers=self.config.managers,
         )
         self.cnsd = CnsDaemon(self.sim, self.network)
         self.cnsd.start()

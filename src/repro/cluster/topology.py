@@ -34,6 +34,13 @@ class NodeSpec:
     parents: tuple[str, ...]  # parent node names ("" level for managers)
     children: tuple[str, ...] = ()
     exports: tuple[str, ...] = ("/store",)
+    #: Failover parents, in preference order: the parent's sibling
+    #: supervisors first, then the grandparent level (managers at the
+    #: top).  A subordinate whose parent goes silent past the re-login
+    #: horizon re-homes to the first reachable standby instead of
+    #: heartbeating into the void (§III-A4 treats the adoption as an
+    #: ordinary "server added" membership event on the new parent).
+    standbys: tuple[str, ...] = ()
 
     @property
     def name(self) -> str:
@@ -88,6 +95,7 @@ def build_topology(
     fanout: int = FANOUT,
     exports: tuple[str, ...] = ("/store",),
     manager_replicas: int = 1,
+    managers: int | None = None,
 ) -> Topology:
     """Build the shallowest tree holding *n_servers* leaves.
 
@@ -95,8 +103,16 @@ def build_topology(
     ``fanout``, each set under a supervisor, supervisor sets under further
     supervisors, until one set remains — that set's parent is the manager
     (replicated ``manager_replicas`` times; replicas share all
-    subordinates).
+    subordinates).  ``managers=N`` is the preferred spelling of
+    ``manager_replicas=N``: N shared-nothing peer managers that each
+    receive every top-level login and unsolicited HaveFile advisory, so
+    any one of them can serve clients while the others are down.
+
+    Every interior node also gets a ``standbys`` list (see
+    :class:`NodeSpec`) so its subtree can re-home when it dies.
     """
+    if managers is not None:
+        manager_replicas = managers
     if n_servers < 1:
         raise ValueError("need at least one server")
     if not 2 <= fanout <= FANOUT:
@@ -143,8 +159,35 @@ def build_topology(
     for child in level_nodes:
         topo.nodes[child].parents = manager_names
 
+    _assign_standbys(topo)
     topo.validate()
     return topo
+
+
+def _assign_standbys(topo: Topology) -> None:
+    """Compute per-node standby lists: parent's siblings, then grandparents.
+
+    A top-level subordinate already logs into every manager, so its list is
+    empty — there is nowhere else to go, and the capped-backoff re-login
+    loop covers a manager restart instead.
+    """
+    for spec in topo.nodes.values():
+        if not spec.parents:
+            continue
+        pool: list[str] = []
+        grandparents: list[str] = []
+        for p in spec.parents:
+            pspec = topo.nodes[p]
+            for gp in pspec.parents:
+                for sib in topo.nodes[gp].children:
+                    if sib != p and sib not in spec.parents and sib not in pool:
+                        pool.append(sib)
+                if gp not in spec.parents and gp not in grandparents:
+                    grandparents.append(gp)
+        for gp in grandparents:
+            if gp not in pool:
+                pool.append(gp)
+        spec.standbys = tuple(pool)
 
 
 def expected_depth(n_servers: int, fanout: int = FANOUT) -> int:

@@ -60,6 +60,12 @@ def derive(obs: Observability) -> dict[str, Any]:
         "fast_release_ratio": (released / (released + expired)) if released + expired else 0.0,
         "evictions": m.counter_total("evict_hidden_total"),
         "corrections": m.counter_total("cache_corrections_total"),
+        # Fault-tolerance roll-ups: manager failovers clients performed,
+        # standby adoptions subordinates performed, messages the chaos
+        # layer ate.  All zero in a healthy, chaos-free run.
+        "failovers": m.counter_total("failovers_total"),
+        "rehomes": m.counter_total("rehomes_total"),
+        "chaos_msgs_dropped": m.counter_total("chaos_msgs_dropped_total"),
     }
 
 
@@ -83,6 +89,7 @@ def snapshot(
     }
     if traces:
         snap["traces"] = [t.to_dict() for t in obs.tracer.finished]
+        snap["events"] = [dict(e) for e in obs.tracer.cluster_events]
     if extra:
         snap["extra"] = dict(extra)
     return snap

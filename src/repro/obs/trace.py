@@ -129,12 +129,18 @@ class ResolutionTrace:
 class Tracer:
     """Opens, correlates (by path), and retains resolution traces."""
 
-    def __init__(self, clock: Callable[[], float], *, max_finished: int = 512) -> None:
+    def __init__(
+        self, clock: Callable[[], float], *, max_finished: int = 512, max_events: int = 4096
+    ) -> None:
         self._clock = clock
         self._next_id = 1
         self._active: dict[str, list[ResolutionTrace]] = {}
         #: Completed traces, oldest evicted first (bounded memory).
         self.finished: deque[ResolutionTrace] = deque(maxlen=max_finished)
+        #: Cluster lifecycle events (re-homes, manager failovers): these
+        #: have no path, so the path-keyed resolution machinery cannot
+        #: carry them.  Oldest evicted first.
+        self.cluster_events: deque[dict[str, Any]] = deque(maxlen=max_events)
 
     @property
     def active_count(self) -> int:
@@ -161,6 +167,19 @@ class Tracer:
         trace = self.active(path)
         if trace is not None:
             trace.event(name, self._clock(), node=node, **attrs)
+
+    def cluster_event(
+        self, name: str, *, time: float | None = None, **attrs: Any
+    ) -> None:
+        """Record a path-less cluster lifecycle event (always retained).
+
+        Unlike :meth:`event`, this never attaches to a resolution: events
+        like ``cmsd.rehome`` or ``client.mgr_failover`` happen *between*
+        lookups and must be visible even when nothing is being traced.
+        """
+        e: dict[str, Any] = {"name": name, "t": self._clock() if time is None else time}
+        e.update(attrs)
+        self.cluster_events.append(e)
 
     def finish(self, trace: ResolutionTrace, **attrs: Any) -> None:
         trace.finish(self._clock(), **attrs)

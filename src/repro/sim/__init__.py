@@ -7,11 +7,16 @@ measurement helpers.
 """
 
 from repro.sim.errors import Interrupt, SimError, StopSimulation
-from repro.sim.failures import FailureEvent, FailureInjector, random_crash_schedule
+from repro.sim.failures import (
+    FailureEvent,
+    FailureInjector,
+    random_chaos_schedule,
+    random_crash_schedule,
+)
 from repro.sim.kernel import AllOf, AnyOf, Event, Process, Simulator, Timeout
 from repro.sim.latency import Empirical, Fixed, LatencyModel, LogNormal, Uniform
 from repro.sim.monitor import Histogram, Summary, TimeSeries
-from repro.sim.network import Envelope, Host, Network, NetworkStats
+from repro.sim.network import ChaosConfig, Envelope, Host, Network, NetworkStats
 from repro.sim.sync import Resource, Store
 
 __all__ = [
@@ -30,6 +35,7 @@ __all__ = [
     "Host",
     "Envelope",
     "NetworkStats",
+    "ChaosConfig",
     "LatencyModel",
     "Fixed",
     "Uniform",
@@ -41,4 +47,5 @@ __all__ = [
     "FailureEvent",
     "FailureInjector",
     "random_crash_schedule",
+    "random_chaos_schedule",
 ]

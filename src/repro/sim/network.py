@@ -20,7 +20,34 @@ from repro.sim.kernel import Simulator
 from repro.sim.latency import Fixed, LatencyModel
 from repro.sim.sync import Store
 
-__all__ = ["Host", "Envelope", "NetworkStats", "Network"]
+__all__ = ["Host", "Envelope", "NetworkStats", "ChaosConfig", "Network"]
+
+
+@dataclass
+class ChaosConfig:
+    """Gray-failure injection knobs: the failures that are not clean crashes.
+
+    Every probability is per message.  Chaos draws come from a dedicated
+    RNG (seeded here), fully separate from the latency RNG — with every
+    knob at zero the chaos path draws *nothing*, so event streams stay
+    bit-identical to a run built without chaos at all.
+    """
+
+    #: Probability a message silently vanishes on the wire.
+    drop_prob: float = 0.0
+    #: Probability a message is delivered twice (second copy re-samples
+    #: its own latency — duplicates arrive out of order).
+    dup_prob: float = 0.0
+    #: Probability a message eats an extra delay spike.
+    delay_spike_prob: float = 0.0
+    #: Maximum spike size (seconds); actual spike is uniform in (0, max).
+    delay_spike: float = 0.05
+    #: Seed for the dedicated chaos RNG.
+    seed: int = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.drop_prob > 0 or self.dup_prob > 0 or self.delay_spike_prob > 0
 
 
 @dataclass
@@ -45,10 +72,14 @@ class NetworkStats:
     dropped_dead: int = 0
     dropped_partition: int = 0
     bytes_sent: int = 0
+    #: Messages the chaos layer ate, duplicated, or spiked (gray failures).
+    chaos_dropped: int = 0
+    chaos_duplicated: int = 0
+    chaos_delayed: int = 0
 
     @property
     def dropped(self) -> int:
-        return self.dropped_dead + self.dropped_partition
+        return self.dropped_dead + self.dropped_partition + self.chaos_dropped
 
 
 class Host:
@@ -81,6 +112,8 @@ class Network:
         *,
         default_latency: LatencyModel | None = None,
         rng: random.Random | None = None,
+        chaos: ChaosConfig | None = None,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.default_latency = default_latency if default_latency is not None else Fixed(10e-6)
@@ -90,7 +123,19 @@ class Network:
         self._host_site: dict[str, str] = {}
         self._site_latency: dict[frozenset[str], LatencyModel] = {}
         self._partitioned: set[frozenset[str]] = set()
+        #: One-sided partitions: (src, dst) pairs whose src->dst direction
+        #: is black-holed while dst->src still flows — the asymmetric-route
+        #: failure symmetric partitions cannot model.
+        self._partitioned_oneway: set[tuple[str, str]] = set()
+        #: Isolated hosts: alive (daemons keep running) but all traffic to
+        #: *and* from them is dropped — a gray failure, not a crash.
+        self._isolated: set[str] = set()
+        self.chaos = chaos if chaos is not None and chaos.enabled else None
+        self._chaos_rng = random.Random(chaos.seed) if self.chaos is not None else None
         self.stats = NetworkStats()
+        self._obs = obs
+        if obs is not None:
+            self._m_chaos_dropped = obs.metrics.counter("chaos_msgs_dropped_total")
 
     # -- topology management -------------------------------------------------
 
@@ -175,8 +220,37 @@ class Network:
     def heal(self, a: str, b: str) -> None:
         self._partitioned.discard(frozenset((a, b)))
 
+    def partition_oneway(self, src: str, dst: str) -> None:
+        """Black-hole the *src* -> *dst* direction only."""
+        self._partitioned_oneway.add((src, dst))
+
+    def heal_oneway(self, src: str, dst: str) -> None:
+        self._partitioned_oneway.discard((src, dst))
+
+    def isolate(self, name: str) -> None:
+        """Cut *name* off from everyone without killing it (gray failure).
+
+        Unlike O(n) pairwise partitions, this is one set entry; unlike
+        :meth:`kill`, the host's daemons keep running — they just talk to
+        a dead wire.
+        """
+        if name not in self.hosts:
+            raise KeyError(f"unknown host {name!r}")
+        self._isolated.add(name)
+
+    def unisolate(self, name: str) -> None:
+        self._isolated.discard(name)
+
     def partitioned(self, a: str, b: str) -> bool:
         return frozenset((a, b)) in self._partitioned
+
+    def _blocked(self, src: str, dst: str) -> bool:
+        """All the ways the src->dst direction can be severed."""
+        if frozenset((src, dst)) in self._partitioned:
+            return True
+        if (src, dst) in self._partitioned_oneway:
+            return True
+        return src in self._isolated or dst in self._isolated
 
     # -- the data path ---------------------------------------------------------
 
@@ -189,25 +263,44 @@ class Network:
         """
         self.stats.sent += 1
         self.stats.bytes_sent += size
-        if self.partitioned(src, dst):
+        if self._blocked(src, dst):
             self.stats.dropped_partition += 1
             return False
         target = self.hosts[dst]
         if not target.alive:
             self.stats.dropped_dead += 1
             return False
-        env = Envelope(src=src, dst=dst, payload=payload, sent_at=self.sim.now)
         delay = self.latency_model(src, dst).sample(self.rng)
+        delays = [delay]
+        if self.chaos is not None:
+            cz, crng = self.chaos, self._chaos_rng
+            if cz.drop_prob and crng.random() < cz.drop_prob:
+                self.stats.chaos_dropped += 1
+                if self._obs is not None:
+                    self._m_chaos_dropped.inc()
+                return False
+            if cz.dup_prob and crng.random() < cz.dup_prob:
+                # Duplicate re-samples its own latency (chaos RNG), so the
+                # two copies can arrive out of order.
+                delays.append(self.latency_model(src, dst).sample(crng))
+                self.stats.chaos_duplicated += 1
+            if cz.delay_spike_prob and crng.random() < cz.delay_spike_prob:
+                delays[0] += cz.delay_spike * crng.random()
+                self.stats.chaos_delayed += 1
 
-        def deliver():
-            yield self.sim.sleep(delay)
-            if not target.alive or self.partitioned(src, dst):
+        sent_at = self.sim.now
+
+        def deliver(d: float):
+            yield self.sim.sleep(d)
+            if not target.alive or self._blocked(src, dst):
                 self.stats.dropped_dead += not target.alive
                 self.stats.dropped_partition += target.alive
                 return
+            env = Envelope(src=src, dst=dst, payload=payload, sent_at=sent_at)
             env.delivered_at = self.sim.now
             self.stats.delivered += 1
             target.inbox.put(env)
 
-        self.sim.process(deliver(), name=f"deliver:{src}->{dst}")
+        for d in delays:
+            self.sim.process(deliver(d), name=f"deliver:{src}->{dst}")
         return True

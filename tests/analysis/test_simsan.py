@@ -31,8 +31,12 @@ class TestSanitizedCluster:
         cluster = sanitized_cluster()
         mgr = cluster.manager_cmsd()
         assert mgr.sanitizer is not None
+        # Servers have no cache to sweep, but their subordinate half
+        # (parents, re-home state) is checked every heartbeat.
         server = cluster.nodes[cluster.servers[0]].cmsd
-        assert server.sanitizer is None  # servers have no cache to sweep
+        assert server.sanitizer is not None
+        cluster.run(until=cluster.sim.now + 3 * cluster.config.heartbeat_interval)
+        assert server.sanitizer.sweeps > 0
 
     def test_off_by_default(self, monkeypatch):
         monkeypatch.delenv("SCALLA_SANITIZE", raising=False)
@@ -219,3 +223,56 @@ class TestQueueChecks:
         with pytest.raises(AnchorLeakViolation) as exc_info:
             Sanitizer().check_queue(rq)
         assert exc_info.value.invariant in ("anchor-partition", "active-count")
+
+
+class TestSubordinateChecks:
+    """Re-home path invariants (fault-tolerance PR): corrupt a live
+    subordinate cmsd's parent bookkeeping and SimSan must object."""
+
+    def _server_cmsd(self):
+        cluster = sanitized_cluster(n=4, seed=9)
+        return cluster.nodes[cluster.servers[0]].cmsd
+
+    def test_clean_subordinate_passes(self):
+        cmsd = self._server_cmsd()
+        cmsd.sanitizer.check_subordinate(cmsd)
+
+    def test_duplicate_parent(self):
+        cmsd = self._server_cmsd()
+        cmsd.parents = cmsd.parents + (cmsd.parents[0],)
+        with pytest.raises(InvariantViolation) as exc_info:
+            cmsd.sanitizer.check_subordinate(cmsd)
+        assert exc_info.value.invariant == "parents-distinct"
+        assert exc_info.value.node == cmsd.node_id.name
+
+    def test_stale_silence_clock(self):
+        cmsd = self._server_cmsd()
+        cmsd._last_parent_ack["ghost-parent"] = 0.0
+        with pytest.raises(InvariantViolation) as exc_info:
+            cmsd.sanitizer.check_subordinate(cmsd)
+        assert exc_info.value.invariant == "ack-keys-subset"
+
+    def test_stale_relogin_backoff(self):
+        cmsd = self._server_cmsd()
+        cmsd._relogin_state["ghost-parent"] = (1, 99.0)
+        with pytest.raises(InvariantViolation) as exc_info:
+            cmsd.sanitizer.check_subordinate(cmsd)
+        assert exc_info.value.invariant == "relogin-keys-subset"
+
+    def test_emptied_standby_pool(self):
+        cmsd = self._server_cmsd()
+        cmsd.standbys = ("somewhere",)
+        cmsd._standby_pool = ()
+        with pytest.raises(InvariantViolation) as exc_info:
+            cmsd.sanitizer.check_subordinate(cmsd)
+        assert exc_info.value.invariant == "standby-pool-nonempty"
+
+    def test_parentless_with_pool(self):
+        cmsd = self._server_cmsd()
+        cmsd.parents = ()
+        cmsd._last_parent_ack.clear()
+        cmsd._relogin_state.clear()
+        cmsd._standby_pool = ("somewhere",)
+        with pytest.raises(InvariantViolation) as exc_info:
+            cmsd.sanitizer.check_subordinate(cmsd)
+        assert exc_info.value.invariant == "parents-nonempty"

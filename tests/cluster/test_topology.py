@@ -97,3 +97,51 @@ class TestValidation:
         topo = build_topology(5, exports=("/store", "/atlas"))
         for spec in topo.nodes.values():
             assert spec.exports == ("/store", "/atlas")
+
+
+class TestRedundantManagers:
+    def test_managers_spelling_wins(self):
+        topo = build_topology(8, fanout=4, manager_replicas=1, managers=3)
+        assert topo.managers == ("mgr0", "mgr1", "mgr2")
+
+    def test_top_level_logs_into_every_manager(self):
+        topo = build_topology(8, fanout=4, managers=2)
+        for sup in topo.supervisors:
+            assert topo.nodes[sup].parents == topo.managers
+
+
+class TestStandbys:
+    def test_server_standbys_are_sibling_sups_then_managers(self):
+        """The re-home escalation order: the dead parent's siblings under
+        the shared grandparent first, the grandparent itself last."""
+        topo = build_topology(8, fanout=4)  # mgr -> 2 sups -> 8 servers
+        sup0, sup1 = topo.supervisors[:2]
+        for child in topo.nodes[sup0].children:
+            assert topo.nodes[child].standbys == (sup1, "mgr0")
+        for child in topo.nodes[sup1].children:
+            assert topo.nodes[child].standbys == (sup0, "mgr0")
+
+    def test_top_level_subordinates_have_no_standbys(self):
+        """They already log into every manager — nowhere else to go."""
+        topo = build_topology(8, fanout=4, managers=2)
+        for sup in topo.supervisors:
+            assert topo.nodes[sup].standbys == ()
+
+    def test_managers_have_no_standbys(self):
+        topo = build_topology(8, fanout=4)
+        for m in topo.managers:
+            assert topo.nodes[m].standbys == ()
+
+    def test_flat_cluster_servers_have_no_standbys(self):
+        """Directly under the manager(s): same situation as a top-level
+        supervisor."""
+        topo = build_topology(4, fanout=8, managers=2)
+        for s in topo.servers:
+            assert topo.nodes[s].standbys == ()
+
+    def test_standbys_exclude_own_parents(self):
+        topo = build_topology(32, fanout=4)
+        for name, spec in topo.nodes.items():
+            for standby in spec.standbys:
+                assert standby not in spec.parents
+                assert standby != name

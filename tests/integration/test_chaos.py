@@ -1,0 +1,307 @@
+"""Chaos soak: gray failures + interior churn never corrupt results.
+
+The fault-tolerance tentpole's end-to-end harness.  A cluster with two
+peer managers runs a continuous read workload while a seeded schedule
+crashes interior and leaf nodes, isolates cmsds (gray failure: control
+plane dark, data plane alive), and severs links one-way — on top of
+probabilistic message loss, duplication, and delay spikes on every link.
+
+Asserted invariants, per the paper's recoverability objective (§VI):
+
+* **zero stale results** — every successful open lands on a node whose
+  disk actually holds the file;
+* **zero stranded clients** — every read terminates (success or a typed
+  ``ScallaError``) within a bounded sim-time budget; a hung client trips
+  ``run_process(limit=...)`` and fails the test;
+* **bounded unavailability** — reads keep succeeding during the churn,
+  and once every injected failure is recovered a full verify sweep
+  resolves every file at ordinary latency.
+
+Everything is seeded: the schedule, the chaos RNG, and the workload all
+derive from the test seed, so a failing seed replays exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import ScallaCluster, ScallaConfig
+from repro.cluster.client import ClientConfig, ScallaError
+from repro.cluster.ids import cmsd_host
+from repro.sim import ChaosConfig
+from repro.sim.failures import FailureEvent, random_chaos_schedule
+
+SEEDS = [7, 19, 33]
+
+N_SERVERS = 8
+N_FILES = 12
+HORIZON = 10.0  # chaos window, simulated seconds
+COOLDOWN = 2.0  # post-recovery settle before the verify sweep
+
+
+def chaos_cluster(seed, **overrides):
+    cfg = dict(
+        seed=seed,
+        fanout=4,  # 2 managers -> 2 supervisors -> 8 servers
+        managers=2,
+        heartbeat_interval=0.2,
+        disconnect_timeout=0.7,
+        drop_timeout=60.0,
+        relogin_timeout=0.5,
+        full_delay=1.0,
+        chaos=ChaosConfig(
+            drop_prob=0.02,
+            dup_prob=0.02,
+            delay_spike_prob=0.05,
+            delay_spike=0.05,
+            seed=seed,
+        ),
+        # Short client timeouts: dead-manager detection in fractions of a
+        # second keeps the read cadence high through the churn window.
+        client=ClientConfig(
+            locate_timeout=0.5, op_timeout=0.5, pending_open_timeout=5.0
+        ),
+    )
+    cfg.update(overrides)
+    cluster = ScallaCluster(N_SERVERS, config=ScallaConfig(**cfg))
+    paths = [f"/store/c/f{i}.root" for i in range(N_FILES)]
+    for i, path in enumerate(paths):
+        # One replica in each supervisor's subtree: no single crash makes
+        # a file legitimately unreachable, so any hard failure during the
+        # soak is bounded-unavailability, not data loss.
+        cluster.place(path, cluster.servers[i % 4], size=64)
+        cluster.place(path, cluster.servers[4 + i % 4], size=64)
+    cluster.settle(0.5)
+    return cluster, paths
+
+
+def run_chaos_executor(cluster, schedule):
+    """Execute *schedule* through the cluster layer.
+
+    Node-level kinds go through ScallaNode lifecycle (daemons must die
+    with their host); link-level kinds act on the cmsd network endpoints
+    — an isolated cmsd with a live xrootd is precisely the gray failure
+    a plain crash cannot model.
+    """
+    base = cluster.sim.now
+
+    def executor():
+        for ev in schedule:
+            delay = base + ev.at - cluster.sim.now
+            if delay > 0:
+                yield cluster.sim.timeout(delay)
+            if ev.kind == "crash":
+                if cluster.node(ev.target).running:
+                    cluster.node(ev.target).crash()
+            elif ev.kind == "restart":
+                if not cluster.node(ev.target).running:
+                    cluster.node(ev.target).restart()
+            elif ev.kind == "isolate":
+                cluster.network.isolate(cmsd_host(ev.target))
+            elif ev.kind == "unisolate":
+                cluster.network.unisolate(cmsd_host(ev.target))
+            elif ev.kind == "partition_oneway":
+                a, b = ev.target
+                cluster.network.partition_oneway(cmsd_host(a), cmsd_host(b))
+            elif ev.kind == "heal_oneway":
+                a, b = ev.target
+                cluster.network.heal_oneway(cmsd_host(a), cmsd_host(b))
+
+    return cluster.sim.process(executor(), name="chaos-schedule")
+
+
+def soak(seed, *, horizon=HORIZON, events=6, pace=0.1):
+    """One full soak run; returns its outcome fingerprint."""
+    cluster, paths = chaos_cluster(seed)
+    rng = random.Random(seed)
+    # Interior nodes (supervisors + one manager) and leaves all churn;
+    # the second manager stays up so the cluster is never headless.
+    hosts = (
+        list(cluster.topology.supervisors)
+        + cluster.servers
+        + [cluster.managers[0]]
+    )
+    schedule = random_chaos_schedule(
+        rng,
+        hosts,
+        horizon=horizon,
+        events=events,
+        min_duration=0.8,
+        max_duration=2.5,
+    )
+    run_chaos_executor(cluster, schedule)
+
+    reader = cluster.client("soak")
+    outcomes = []  # (path, node-or-None) per read, in order
+    stale = []
+    end = cluster.sim.now + horizon + 1.0
+    while cluster.sim.now < end:
+        path = paths[rng.randrange(len(paths))]
+        try:
+            # limit= is the stranded-client detector: a read that neither
+            # succeeds nor raises within 60 simulated seconds aborts the run.
+            res = cluster.run_process(reader.open(path), limit=60)
+        except ScallaError:
+            outcomes.append((path, None))
+        else:
+            outcomes.append((path, res.node))
+            if not cluster.node(res.node).fs.exists(path):
+                stale.append((path, res.node))
+        cluster.run(until=cluster.sim.now + pace)
+
+    # Every injected failure recovers within the schedule; belt and
+    # braces for reads that crossed the horizon mid-flight.
+    for name in hosts:
+        if not cluster.node(name).running:
+            cluster.node(name).restart()
+    cluster.run(until=cluster.sim.now + COOLDOWN)
+    return cluster, paths, outcomes, stale
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_soak(seed):
+    cluster, paths, outcomes, stale = soak(seed)
+
+    # Zero stale results: every success came off a disk that has the file.
+    assert stale == [], f"stale redirects under chaos: {stale}"
+
+    # Bounded unavailability: the soak keeps making progress during the
+    # churn — most reads succeed even while nodes flap.
+    successes = sum(1 for _, node in outcomes if node is not None)
+    assert len(outcomes) > 20
+    assert successes >= 0.7 * len(outcomes), (
+        f"only {successes}/{len(outcomes)} reads succeeded under chaos"
+    )
+
+    # The chaos layer actually engaged (the knobs are not dead config).
+    assert cluster.network.stats.chaos_dropped > 0
+    assert cluster.network.stats.chaos_duplicated > 0
+
+    # Full recovery: with every failure healed, a cold sweep resolves
+    # every file from a genuine holder at ordinary latency.
+    verify = cluster.client("verify")
+    for path in paths:
+        res = cluster.run_process(verify.open(path), limit=120)
+        assert cluster.node(res.node).fs.exists(path), f"stale redirect for {path}"
+        # Bounded: a few fruitless epochs at a stale-vectored subtree plus
+        # the refreshed re-resolution (the §III-C1 escape) — chaos stays on
+        # during the sweep, so any single round can still lose a query.
+        assert res.latency < 10 * cluster.config.full_delay
+        try:
+            cluster.run_process(verify.close(res), limit=60)
+        except ScallaError:
+            pass  # the CloseAck itself can be a chaos casualty; not under test
+
+    # Invariants on the survivors' caches (SimSan runs these continuously
+    # when SCALLA_SANITIZE=1; this is the unconditional spot check).
+    for mgr in cluster.managers:
+        if cluster.node(mgr).running:
+            cluster.node(mgr).cmsd.cache.check_invariants()
+
+
+@pytest.mark.parametrize("seed", SEEDS[:1])
+def test_chaos_soak_is_deterministic(seed):
+    """Same seed -> bit-identical churn: message counts, chaos decisions,
+    and every read outcome replay exactly (the debuggability guarantee)."""
+
+    def fingerprint():
+        cluster, _, outcomes, stale = soak(seed, horizon=5.0, events=3)
+        s = cluster.network.stats
+        return (
+            s.sent,
+            s.delivered,
+            s.chaos_dropped,
+            s.chaos_duplicated,
+            s.chaos_delayed,
+            tuple(outcomes),
+            tuple(stale),
+            cluster.sim.now,
+        )
+
+    assert fingerprint() == fingerprint()
+
+
+class TestManagerFailover:
+    """Tentpole piece 1 end-to-end: redundant managers + client failover."""
+
+    def test_client_fails_over_to_live_manager(self):
+        cluster, paths = chaos_cluster(3, chaos=None)
+        cluster.node(cluster.managers[0]).crash()
+        cluster.run(until=cluster.sim.now + 1.0)
+        client = cluster.client("fo")
+        res = cluster.run_process(client.open(paths[0]), limit=60)
+        assert res.size == 64
+        assert client.stats.failovers >= 1
+
+    def test_all_managers_dead_is_a_typed_error(self):
+        from repro.cluster.client import ClusterUnreachable
+
+        cluster, paths = chaos_cluster(3, chaos=None)
+        for mgr in cluster.managers:
+            cluster.node(mgr).crash()
+        cluster.run(until=cluster.sim.now + 1.0)
+        with pytest.raises(ClusterUnreachable):
+            cluster.run_process(cluster.client("fo").open(paths[0]), limit=600)
+
+    def test_isolated_manager_is_a_gray_failure(self):
+        """cmsd dark but host alive: clients time out and rotate, no crash
+        event ever fires — the failover path must not depend on one."""
+        cluster, paths = chaos_cluster(3, chaos=None)
+        cluster.network.isolate(cmsd_host(cluster.managers[0]))
+        client = cluster.client("fo")
+        res = cluster.run_process(client.open(paths[0]), limit=60)
+        assert res.size == 64
+        assert client.stats.failovers >= 1
+        cluster.network.unisolate(cmsd_host(cluster.managers[0]))
+
+
+class TestScheduleValidation:
+    """random_chaos_schedule: structural guarantees the soak leans on."""
+
+    def test_every_failure_is_recovered(self):
+        rng = random.Random(5)
+        sched = random_chaos_schedule(
+            rng,
+            ["a", "b", "c", "d"],
+            horizon=10.0,
+            events=8,
+            min_duration=0.5,
+            max_duration=2.0,
+        )
+        open_by_target = {}
+        recovery = {
+            "crash": "restart",
+            "isolate": "unisolate",
+            "partition_oneway": "heal_oneway",
+        }
+        for ev in sched:
+            if ev.kind in recovery:
+                open_by_target[(recovery[ev.kind], ev.target)] = ev.at
+            else:
+                begin = open_by_target.pop((ev.kind, ev.target))
+                assert begin <= ev.at <= 10.0
+        assert not open_by_target
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="no recovery action"):
+            random_chaos_schedule(
+                random.Random(0),
+                ["a", "b"],
+                horizon=5.0,
+                events=1,
+                min_duration=0.1,
+                max_duration=0.2,
+                kinds=("meteor",),
+            )
+
+    def test_events_are_failure_events(self):
+        sched = random_chaos_schedule(
+            random.Random(1),
+            ["a", "b", "c"],
+            horizon=5.0,
+            events=3,
+            min_duration=0.1,
+            max_duration=0.5,
+        )
+        assert all(isinstance(ev, FailureEvent) for ev in sched)
+        assert sched == sorted(sched, key=lambda e: e.at)

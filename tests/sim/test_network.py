@@ -225,3 +225,165 @@ class TestRandomSchedule:
                 min_downtime=9.0,
                 max_downtime=9.5,
             )
+
+
+def drain(sim, host, got):
+    def receiver():
+        while True:
+            env = yield host.inbox.get()
+            got.append(env)
+
+    sim.process(receiver())
+
+
+class TestGrayFailures:
+    def test_isolate_blocks_both_directions(self):
+        sim, net, a, b = make_net()
+        net.isolate("b")
+        assert not net.send("a", "b", "x")
+        assert not net.send("b", "a", "y")
+        assert net.hosts["b"].alive  # unlike kill: the host itself is fine
+
+    def test_unisolate_restores(self):
+        sim, net, a, b = make_net()
+        net.isolate("b")
+        net.unisolate("b")
+        assert net.send("a", "b", "x")
+
+    def test_isolate_unknown_host_raises(self):
+        sim, net, a, b = make_net()
+        with pytest.raises(KeyError):
+            net.isolate("ghost")
+
+    def test_oneway_partition_is_directional(self):
+        sim, net, a, b = make_net()
+        net.partition_oneway("a", "b")
+        assert not net.send("a", "b", "x")
+        assert net.send("b", "a", "y")
+        net.heal_oneway("a", "b")
+        assert net.send("a", "b", "x")
+
+    def test_isolation_applies_at_delivery_time(self):
+        """A message in flight when the isolation lands is lost too."""
+        sim, net, a, b = make_net(latency=1.0)
+        got = []
+        drain(sim, b, got)
+        net.send("a", "b", "x")
+        sim.run(until=0.5)
+        net.isolate("b")
+        sim.run()
+        assert got == []
+
+
+class TestChaos:
+    def make_chaos_net(self, **knobs):
+        from repro.sim.network import ChaosConfig
+
+        sim = Simulator()
+        net = Network(
+            sim,
+            default_latency=Fixed(1e-3),
+            rng=random.Random(7),
+            chaos=ChaosConfig(seed=11, **knobs),
+        )
+        return sim, net, net.add_host("a"), net.add_host("b")
+
+    def test_disabled_chaos_is_not_installed(self):
+        """All-zero knobs mean no chaos RNG at all — the healthy path
+        draws nothing extra, keeping event streams bit-identical."""
+        sim, net, a, b = self.make_chaos_net()
+        assert net.chaos is None
+        assert net._chaos_rng is None
+
+    def test_drop_probability_eats_messages(self):
+        sim, net, a, b = self.make_chaos_net(drop_prob=0.5)
+        got = []
+        drain(sim, b, got)
+        for _ in range(200):
+            net.send("a", "b", "x")
+        sim.run()
+        assert net.stats.chaos_dropped > 0
+        assert len(got) == 200 - net.stats.chaos_dropped
+
+    def test_duplication_delivers_twice(self):
+        sim, net, a, b = self.make_chaos_net(dup_prob=0.5)
+        got = []
+        drain(sim, b, got)
+        for _ in range(100):
+            net.send("a", "b", "x")
+        sim.run()
+        assert net.stats.chaos_duplicated > 0
+        assert len(got) == 100 + net.stats.chaos_duplicated
+
+    def test_delay_spike_slows_delivery(self):
+        sim, net, a, b = self.make_chaos_net(delay_spike_prob=1.0, delay_spike=0.5)
+        got = []
+        drain(sim, b, got)
+        net.send("a", "b", "x")
+        sim.run()
+        assert net.stats.chaos_delayed == 1
+        assert got[0].latency > 1e-3  # base latency plus the spike
+
+    def test_chaos_is_seeded(self):
+        def run():
+            sim, net, a, b = self.make_chaos_net(
+                drop_prob=0.1, dup_prob=0.1, delay_spike_prob=0.1
+            )
+            got = []
+            drain(sim, b, got)
+            for _ in range(100):
+                net.send("a", "b", "x")
+            sim.run()
+            s = net.stats
+            return (s.chaos_dropped, s.chaos_duplicated, s.chaos_delayed, len(got))
+
+        assert run() == run()
+
+
+class TestInjectorValidation:
+    def test_unknown_host_rejected_at_schedule_time(self):
+        sim, net, a, b = make_net()
+        inj = FailureInjector(sim, net)
+        with pytest.raises(ValueError, match="unknown host"):
+            inj.schedule([FailureEvent(at=1.0, kind="crash", target="ghost")])
+
+    def test_pair_kind_needs_a_pair(self):
+        sim, net, a, b = make_net()
+        inj = FailureInjector(sim, net)
+        with pytest.raises(ValueError, match="host pair"):
+            inj.schedule([FailureEvent(at=1.0, kind="partition", target="a")])
+
+    def test_pair_kind_with_unknown_member_rejected(self):
+        sim, net, a, b = make_net()
+        inj = FailureInjector(sim, net)
+        with pytest.raises(ValueError, match="unknown host"):
+            inj.schedule(
+                [FailureEvent(at=1.0, kind="partition_oneway", target=("a", "ghost"))]
+            )
+
+    def test_host_kind_needs_a_name(self):
+        sim, net, a, b = make_net()
+        inj = FailureInjector(sim, net)
+        with pytest.raises(ValueError, match="host name"):
+            inj.schedule([FailureEvent(at=1.0, kind="isolate", target=("a", "b"))])
+
+    def test_new_kinds_execute(self):
+        sim, net, a, b = make_net()
+        inj = FailureInjector(sim, net)
+        inj.schedule(
+            [
+                FailureEvent(at=1.0, kind="isolate", target="b"),
+                FailureEvent(at=2.0, kind="unisolate", target="b"),
+                FailureEvent(at=3.0, kind="partition_oneway", target=("a", "b")),
+                FailureEvent(at=4.0, kind="heal_oneway", target=("a", "b")),
+            ]
+        )
+        sim.run(until=1.5)
+        assert not net.send("a", "b", "x")
+        sim.run(until=2.5)
+        assert net.send("a", "b", "x")
+        sim.run(until=3.5)
+        assert not net.send("a", "b", "x")
+        sim.run()
+        assert net.send("a", "b", "x")
+        assert len(inj.executed) == 4
